@@ -1,0 +1,50 @@
+// Command experiments regenerates the full reproduction report (every
+// figure and quantitative claim of the paper) as markdown on stdout:
+//
+//	go run ./cmd/experiments               # full suite
+//	go run ./cmd/experiments -only E7      # a single experiment
+//	go run ./cmd/experiments -list         # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hdc/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment by ID (e.g. E7)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *only != "" {
+		id := strings.ToUpper(*only)
+		for _, e := range experiments.All() {
+			if e.ID != id {
+				continue
+			}
+			body, err := e.Run()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Printf("## %s: %s\n\n%s\n", e.ID, e.Title, body)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "experiments: unknown ID %q (use -list)\n", id)
+		os.Exit(1)
+	}
+	if err := experiments.RunAll(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

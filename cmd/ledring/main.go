@@ -1,0 +1,85 @@
+// Command ledring renders the all-round-light states of Figure 1 in the
+// terminal: the danger display, navigation displays for chosen headings,
+// and the (deprecated) vertical take-off/landing animation.
+//
+//	go run ./cmd/ledring                    # danger + 8 headings
+//	go run ./cmd/ledring -heading 135
+//	go run ./cmd/ledring -vertical takeoff
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hdc/internal/geom"
+	"hdc/internal/ledring"
+)
+
+func main() {
+	heading := flag.Float64("heading", -1, "show a single navigation heading (deg)")
+	leds := flag.Int("leds", 10, "LED count")
+	vertical := flag.String("vertical", "", "animate the deprecated vertical array: takeoff | landing")
+	flag.Parse()
+
+	ring, err := ledring.New(ledring.Options{LEDCount: *leds, VerticalArray: 5})
+	if err != nil {
+		fail(err)
+	}
+
+	if *vertical != "" {
+		var dir ledring.VerticalDir
+		switch *vertical {
+		case "takeoff":
+			dir = ledring.VerticalTakeOff
+		case "landing":
+			dir = ledring.VerticalLanding
+		default:
+			fail(fmt.Errorf("unknown vertical mode %q", *vertical))
+		}
+		if err := ring.StartVertical(dir); err != nil {
+			fail(err)
+		}
+		fmt.Printf("vertical %s animation (column = tick, row = LED, top row = top LED):\n", *vertical)
+		n := len(ring.Vertical())
+		rows := make([][]byte, n)
+		for i := range rows {
+			rows[i] = make([]byte, 10)
+			for j := range rows[i] {
+				rows[i][j] = '.'
+			}
+		}
+		for tick := 0; tick < 10; tick++ {
+			for i, on := range ring.Vertical() {
+				if on {
+					rows[n-1-i][tick] = '#'
+				}
+			}
+			ring.TickVertical()
+		}
+		for _, r := range rows {
+			fmt.Println(string(r))
+		}
+		fmt.Println("\n(user feedback: take-off and landing are hard to distinguish — the")
+		fmt.Println("array is deprecated and disabled by default; see paper §II and E11)")
+		return
+	}
+
+	fmt.Println("Danger display (safety default, Fig 1 top):")
+	fmt.Println(ring.Render())
+
+	if *heading >= 0 {
+		ring.SetNavigation(geom.HeadingFromDeg(*heading))
+		fmt.Println(ring.Render())
+		return
+	}
+	for _, deg := range []float64{0, 45, 90, 135, 180, 225, 270, 315} {
+		ring.SetNavigation(geom.HeadingFromDeg(deg))
+		fmt.Println(ring.Render())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ledring:", err)
+	os.Exit(1)
+}

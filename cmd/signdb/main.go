@@ -1,0 +1,101 @@
+// Command signdb builds, inspects and verifies the sign reference database
+// — the "database of strings" of §IV as a deployable artefact:
+//
+//	go run ./cmd/signdb -build refs.json        # render + save references
+//	go run ./cmd/signdb -inspect refs.json      # list entries and words
+//	go run ./cmd/signdb -verify refs.json       # load and self-classify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hdc/internal/body"
+	"hdc/internal/recognizer"
+	"hdc/internal/scene"
+)
+
+func main() {
+	build := flag.String("build", "", "render references and save to this file")
+	inspect := flag.String("inspect", "", "print the entries of a saved database")
+	verify := flag.String("verify", "", "load a database and self-classify all signs")
+	flag.Parse()
+
+	switch {
+	case *build != "":
+		rec := mustRecognizer(true)
+		f, err := os.Create(*build)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := rec.SaveReferences(f); err != nil {
+			fail(err)
+		}
+		fmt.Printf("saved %d reference entries to %s\n", rec.Database().Len(), *build)
+
+	case *inspect != "":
+		rec := loadInto(*inspect)
+		fmt.Printf("database: %d entries, word length %d, alphabet %d, series length %d\n",
+			rec.Database().Len(), rec.Config().Segments, rec.Config().Alphabet, rec.Config().SignatureLen)
+		for _, e := range rec.Database().Entries() {
+			fmt.Printf("  %-10s %s\n", e.Label, e.Word.Symbols)
+		}
+
+	case *verify != "":
+		rec := loadInto(*verify)
+		rend := scene.NewRenderer(scene.Config{})
+		ok := true
+		for _, s := range body.AllSigns() {
+			res, err := rec.RecognizeView(rend, s, scene.ReferenceView(), body.Options{}, nil)
+			status := "FAIL"
+			if err == nil && res.OK && res.Sign == s {
+				status = "ok"
+			} else {
+				ok = false
+			}
+			fmt.Printf("  %-10s → %-10s dist=%.2f  [%s]\n", s, res.Match.Label, res.Match.Dist, status)
+		}
+		if !ok {
+			fail(fmt.Errorf("verification failed"))
+		}
+		fmt.Println("database verifies: all signs self-classify")
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func mustRecognizer(buildRefs bool) *recognizer.Recognizer {
+	rec, err := recognizer.New(recognizer.Config{})
+	if err != nil {
+		fail(err)
+	}
+	if buildRefs {
+		rend := scene.NewRenderer(scene.Config{})
+		if err := rec.BuildReferences(rend, scene.ReferenceView()); err != nil {
+			fail(err)
+		}
+	}
+	return rec
+}
+
+func loadInto(path string) *recognizer.Recognizer {
+	rec := mustRecognizer(false)
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := rec.LoadReferences(f); err != nil {
+		fail(err)
+	}
+	return rec
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "signdb:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,147 @@
+// Command signrecog exercises the SAX sign-recognition pipeline directly:
+// render a sign from a chosen viewpoint, print the silhouette, signature,
+// SAX word and the database match — or sweep the azimuth/altitude envelope.
+//
+//	go run ./cmd/signrecog -sign No -alt 5 -dist 3 -az 65
+//	go run ./cmd/signrecog -sweep azimuth
+//	go run ./cmd/signrecog -sweep altitude
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hdc/internal/body"
+	"hdc/internal/recognizer"
+	"hdc/internal/scene"
+	"hdc/internal/timeseries"
+	"hdc/internal/vision"
+)
+
+func main() {
+	signName := flag.String("sign", "No", "sign to show: Attention, Yes, No, Idle")
+	alt := flag.Float64("alt", 5, "drone altitude (m)")
+	dist := flag.Float64("dist", 3, "horizontal distance (m)")
+	az := flag.Float64("az", 0, "relative azimuth (deg)")
+	sweep := flag.String("sweep", "", "run a sweep instead: azimuth | altitude")
+	showFrame := flag.Bool("frame", false, "print the rendered frame as ASCII art")
+	flag.Parse()
+
+	rec, err := recognizer.New(recognizer.Config{})
+	if err != nil {
+		fail(err)
+	}
+	rend := scene.NewRenderer(scene.Config{})
+	if err := rec.BuildReferences(rend, scene.ReferenceView()); err != nil {
+		fail(err)
+	}
+
+	switch *sweep {
+	case "azimuth":
+		azs := make([]float64, 0, 72)
+		for a := 0.0; a < 360; a += 5 {
+			azs = append(azs, a)
+		}
+		pts, err := recognizer.SweepAzimuth(rec, rend, parseSign(*signName), *alt, *dist, azs, 1, nil)
+		if err != nil {
+			fail(err)
+		}
+		for _, p := range pts {
+			fmt.Printf("az %5.0f°  recognised=%-5v match=%-10s dist=%.2f mirrored=%v\n",
+				p.Param, p.Recognized, p.Label, p.Dist, p.Mirrored)
+		}
+		total, arcs := recognizer.DeadAngle(pts)
+		fmt.Printf("\ndead angle: %.0f° total, arcs %v\n", total, arcs)
+		return
+	case "altitude":
+		alts := []float64{1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5, 6, 7, 8, 10, 12, 15}
+		pts, err := recognizer.SweepAltitude(rec, rend, parseSign(*signName), alts, *dist, *az, 1, nil)
+		if err != nil {
+			fail(err)
+		}
+		for _, p := range pts {
+			fmt.Printf("alt %5.1f m  recognised=%-5v match=%-10s dist=%.2f\n",
+				p.Param, p.Recognized, p.Label, p.Dist)
+		}
+		return
+	case "":
+	default:
+		fail(fmt.Errorf("unknown sweep %q", *sweep))
+	}
+
+	v := scene.View{AltitudeM: *alt, DistanceM: *dist, AzimuthDeg: *az}
+	frame, err := rend.Render(parseSign(*signName), v, body.Options{}, nil)
+	if err != nil {
+		fail(err)
+	}
+	if *showFrame {
+		mask := vision.OtsuBinarize(frame)
+		for y := 0; y < mask.H; y += 4 {
+			var sb strings.Builder
+			for x := 0; x < mask.W; x += 2 {
+				if mask.At(x, y) != 0 {
+					sb.WriteByte('#')
+				} else {
+					sb.WriteByte('.')
+				}
+			}
+			fmt.Println(sb.String())
+		}
+		fmt.Println()
+	}
+	res, err := rec.Recognize(frame)
+	if err != nil && err != recognizer.ErrNoSign {
+		fail(err)
+	}
+	fmt.Printf("view:       %v\n", v)
+	fmt.Printf("signature:  %s\n", spark(res.Signature))
+	fmt.Printf("SAX word:   %s\n", res.Word.Symbols)
+	fmt.Printf("match:      %s (dist %.2f, mirrored %v)\n", res.Match.Label, res.Match.Dist, res.Match.Mirrored)
+	fmt.Printf("accepted:   %v\n", res.OK)
+	fmt.Printf("latency:    %v (threshold %v, morph %v, contour %v, encode %v, match %v)\n",
+		res.Timings.Total, res.Timings.Threshold, res.Timings.Morph,
+		res.Timings.Contour, res.Timings.Encode, res.Timings.Match)
+}
+
+func parseSign(s string) body.Sign {
+	switch strings.ToLower(s) {
+	case "attention":
+		return body.SignAttention
+	case "yes":
+		return body.SignYes
+	case "no":
+		return body.SignNo
+	case "idle":
+		return body.SignIdle
+	default:
+		fail(fmt.Errorf("unknown sign %q", s))
+		return 0
+	}
+}
+
+func spark(s timeseries.Series) string {
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := s.MinMax()
+	if hi == lo {
+		hi = lo + 1
+	}
+	out := make([]rune, len(s))
+	for i, v := range s {
+		idx := int((v - lo) / (hi - lo) * 7.99)
+		if idx > 7 {
+			idx = 7
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		out[i] = ramp[idx]
+	}
+	return string(out)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "signrecog:", err)
+	os.Exit(1)
+}

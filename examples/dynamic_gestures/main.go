@@ -1,0 +1,63 @@
+// Dynamic gestures: the paper's §V future work, running — a signaller
+// performs periodic marshalling gestures (Wave, Pump, Seesaw) and the
+// drone's temporal recogniser identifies them from silhouette features
+// regardless of where in the gesture cycle it started watching.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hdc/internal/body"
+	"hdc/internal/gesture"
+	"hdc/internal/scene"
+)
+
+func main() {
+	rend := scene.NewRenderer(scene.Config{})
+	rec, err := gesture.NewRecognizer(gesture.Config{}, rend, scene.ReferenceView())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+
+	fmt.Println("observing each gesture from random cycle phases, with arm jitter:")
+	fmt.Println()
+	for _, g := range gesture.Gestures() {
+		for trial := 0; trial < 3; trial++ {
+			phase := rng.Float64()
+			m, err := rec.Observe(g, scene.ReferenceView(), phase,
+				body.Options{ArmJitterDeg: rng.NormFloat64() * 2}, rng)
+			status := "?"
+			switch {
+			case err != nil:
+				status = "not recognised"
+			case m.Gesture == g:
+				status = fmt.Sprintf("recognised (dist %.2f, phase shift %d frames)", m.Dist, m.Shift)
+			default:
+				status = fmt.Sprintf("CONFUSED with %v", m.Gesture)
+			}
+			fmt.Printf("  %-7s performed from phase %.2f → %s\n", g, phase, status)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("a static Attention sign against the gesture recogniser (must be rejected):")
+	fig, err := body.NewFigure(body.SignAttention, body.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = fig
+	// Static poses produce inactive feature channels; Classify rejects them.
+	flatX := make([]float64, 24)
+	flatA := make([]float64, 24)
+	for i := range flatA {
+		flatA[i] = 0.8 // constant aspect
+	}
+	if _, err := rec.Classify(flatX, flatA); err != nil {
+		fmt.Println("  correctly rejected:", err)
+	} else {
+		fmt.Println("  UNEXPECTEDLY accepted")
+	}
+}

@@ -1,0 +1,61 @@
+// LED patterns: fly a complete circuit — take-off, a square patrol, landing
+// — with the integrated drone agent and watch the all-round light of §II
+// track every phase: danger default on the pad, navigation colours rotating
+// with the direction of flight, and the Fig 2 extinguish-after-rotors-off
+// landing sequence.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hdc/internal/drone"
+	"hdc/internal/flight"
+	"hdc/internal/geom"
+)
+
+func main() {
+	agent, err := drone.New(drone.Config{}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(phase string) {
+		fmt.Printf("--- %s (battery %.0f%%)\n", phase, agent.BatteryFrac()*100)
+		fmt.Println(agent.Ring.Render())
+	}
+
+	show("on the pad: danger is the safety default")
+
+	if _, err := agent.FlyPattern(flight.PatternTakeOff, geom.Vec3{}); err != nil {
+		log.Fatal(err)
+	}
+	show("airborne after vertical take-off")
+
+	// A square patrol: the navigation display must rotate with each leg.
+	for _, wp := range []geom.Vec3{
+		{X: 20, Y: 0, Z: 5},
+		{X: 20, Y: 20, Z: 5},
+		{X: 0, Y: 20, Z: 5},
+		{X: 0, Y: 0, Z: 5},
+	} {
+		if _, err := agent.FlyPattern(flight.PatternCruise, wp); err != nil {
+			log.Fatal(err)
+		}
+		show(fmt.Sprintf("cruising leg to (%.0f, %.0f)", wp.X, wp.Y))
+	}
+
+	// Communicative patterns while hovering.
+	if _, err := agent.FlyPattern(flight.PatternNod, geom.Vec3{}); err != nil {
+		log.Fatal(err)
+	}
+	show("after a Nod (drone-side Yes)")
+
+	if _, err := agent.FlyPattern(flight.PatternLand, geom.Vec3{}); err != nil {
+		log.Fatal(err)
+	}
+	show("landed: rotors off, then lights extinguished (Fig 2 order)")
+
+	fmt.Println("event log:")
+	fmt.Print(agent.Log.String())
+}

@@ -1,0 +1,50 @@
+// Quickstart: one complete human-drone conversation (Fig 3 of the paper)
+// through the public core API — the drone takes off, approaches a worker,
+// pokes for attention, requests the worker's area with a rectangle pattern
+// and acts on the recognised Yes/No marshalling sign.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hdc/internal/core"
+	"hdc/internal/geom"
+	"hdc/internal/human"
+)
+
+func main() {
+	// Assemble the full stack: drone agent (flight + all-round light +
+	// safety), synthetic camera, SAX recogniser and negotiation engine.
+	sys, err := core.NewSystem(
+		core.WithSeed(42),
+		core.WithHome(geom.V3(0, -25, 0)), // base station 25 m south
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A partially trained orchard worker standing at the origin.
+	rng := rand.New(rand.NewSource(42))
+	worker, err := human.New("worker-anna", human.RoleWorker, geom.V2(0, 0), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the negotiated-access conversation.
+	res, err := sys.Converse(worker)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("conversation outcome:", res.Outcome)
+	fmt.Println("pokes flown:         ", res.Pokes)
+	fmt.Println("area requests flown: ", res.Requests)
+	fmt.Println("duration:            ", res.Duration.Truncate(1e8))
+	fmt.Println("drone position:      ", sys.Agent.D.S.Pos)
+	fmt.Println("light mode:          ", sys.Agent.Ring.Mode())
+	fmt.Println()
+	fmt.Println("event transcript:")
+	fmt.Print(sys.Log.String())
+}

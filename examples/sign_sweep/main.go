@@ -1,0 +1,73 @@
+// Sign sweep: reproduce the paper's §IV recognition-envelope study
+// interactively — for each marshalling sign, sweep the relative azimuth
+// over the full circle and the altitude over 1–15 m, and print where the
+// SAX recogniser holds, where it turns erratic and where the dead angle
+// lies (paper: reliable ≤65°, dead angle ≈100°).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"hdc/internal/body"
+	"hdc/internal/recognizer"
+	"hdc/internal/scene"
+)
+
+func main() {
+	rec, err := recognizer.New(recognizer.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rend := scene.NewRenderer(scene.Config{})
+	if err := rec.BuildReferences(rend, scene.ReferenceView()); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("azimuth envelope (5 m altitude, 3 m distance; # recognised, . not):")
+	fmt.Println()
+	azs := make([]float64, 0, 72)
+	for az := 0.0; az < 360; az += 5 {
+		azs = append(azs, az)
+	}
+	for _, s := range body.AllSigns() {
+		pts, err := recognizer.SweepAzimuth(rec, rend, s, 5, 3, azs, 1, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var strip strings.Builder
+		for _, p := range pts {
+			if p.Recognized {
+				strip.WriteByte('#')
+			} else {
+				strip.WriteByte('.')
+			}
+		}
+		total, arcs := recognizer.DeadAngle(pts)
+		fmt.Printf("%-9s  %s\n", s, strip.String())
+		fmt.Printf("           dead: %3.0f° total %v\n", total, arcs)
+	}
+	fmt.Println()
+	fmt.Println("           0°        45°       90°       135°      180°      225°      270°      315°")
+
+	fmt.Println()
+	fmt.Println("altitude envelope (0° azimuth, 3 m distance; paper: 2-5 m works):")
+	fmt.Println()
+	alts := []float64{1, 1.5, 2, 3, 4, 5, 6, 8, 10, 12, 15}
+	for _, s := range body.AllSigns() {
+		pts, err := recognizer.SweepAltitude(rec, rend, s, alts, 3, 0, 1, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s ", s)
+		for _, p := range pts {
+			mark := "."
+			if p.Recognized {
+				mark = "#"
+			}
+			fmt.Printf(" %4.1fm:%s", p.Param, mark)
+		}
+		fmt.Println()
+	}
+}

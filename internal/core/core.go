@@ -1,0 +1,191 @@
+// Package core is the public façade of the hdc library: it assembles the
+// drone agent (flight + all-round light + safety), the synthetic camera,
+// the SAX sign recogniser and the Fig 3 negotiation protocol into one
+// System, configured through functional options. Examples and the mission
+// layer build on this package; everything underneath remains importable for
+// fine-grained use.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"hdc/internal/drone"
+	"hdc/internal/flight"
+	"hdc/internal/geom"
+	"hdc/internal/human"
+	"hdc/internal/ledring"
+	"hdc/internal/protocol"
+	"hdc/internal/recognizer"
+	"hdc/internal/scene"
+	"hdc/internal/telemetry"
+)
+
+// config collects option state.
+type config struct {
+	seed     int64
+	flight   flight.Params
+	ring     ledring.Options
+	safety   drone.SafetyLimits
+	sceneCfg scene.Config
+	recCfg   recognizer.Config
+	protoCfg protocol.Config
+	home     geom.Vec3
+	standoff float64 // negotiation stand-off distance (m)
+	negotAlt float64 // negotiation altitude (m)
+	windGust float64
+	windMean geom.Vec2
+	windSet  bool
+}
+
+// Option configures NewSystem.
+type Option func(*config)
+
+// WithSeed fixes the random seed (default 1).
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithFlightParams overrides the airframe limits.
+func WithFlightParams(p flight.Params) Option { return func(c *config) { c.flight = p } }
+
+// WithRingOptions overrides the all-round-light configuration.
+func WithRingOptions(o ledring.Options) Option { return func(c *config) { c.ring = o } }
+
+// WithSafetyLimits overrides the safety monitor limits.
+func WithSafetyLimits(s drone.SafetyLimits) Option { return func(c *config) { c.safety = s } }
+
+// WithSceneConfig overrides the synthetic camera.
+func WithSceneConfig(s scene.Config) Option { return func(c *config) { c.sceneCfg = s } }
+
+// WithRecognizerConfig overrides the SAX pipeline parameters.
+func WithRecognizerConfig(r recognizer.Config) Option { return func(c *config) { c.recCfg = r } }
+
+// WithProtocolConfig overrides negotiation timeouts/retries.
+func WithProtocolConfig(p protocol.Config) Option { return func(c *config) { c.protoCfg = p } }
+
+// WithHome places the drone's base station.
+func WithHome(h geom.Vec3) Option { return func(c *config) { c.home = h } }
+
+// WithNegotiationGeometry sets the stand-off distance and altitude used
+// when conversing (defaults: the paper's 3 m and 5 m).
+func WithNegotiationGeometry(standoffM, altitudeM float64) Option {
+	return func(c *config) {
+		c.standoff = standoffM
+		c.negotAlt = altitudeM
+	}
+}
+
+// WithWind adds a wind field (mean + gust standard deviation).
+func WithWind(mean geom.Vec2, gustStd float64) Option {
+	return func(c *config) {
+		c.windMean = mean
+		c.windGust = gustStd
+		c.windSet = true
+	}
+}
+
+// System is the assembled human-drone communication stack.
+type System struct {
+	Agent  *drone.Agent
+	Rend   *scene.Renderer
+	Rec    *recognizer.Recognizer
+	Engine *protocol.Engine
+	Log    *telemetry.Log
+	Rng    *rand.Rand
+
+	standoff float64
+	negotAlt float64
+}
+
+// NewSystem assembles a system: drone at home, references built at the
+// paper's canonical view, engine ready.
+func NewSystem(opts ...Option) (*System, error) {
+	cfg := &config{
+		seed:     1,
+		standoff: 3,
+		negotAlt: 5,
+	}
+	for _, o := range opts {
+		o(cfg)
+	}
+	log := telemetry.NewLog()
+	rng := rand.New(rand.NewSource(cfg.seed))
+
+	agent, err := drone.New(drone.Config{
+		Flight: cfg.flight,
+		Ring:   cfg.ring,
+		Safety: cfg.safety,
+		Home:   cfg.home,
+	}, log)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.windSet {
+		w, err := flight.NewWind(cfg.windMean, cfg.windGust, rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		agent.D.Wind = w
+	}
+
+	rend := scene.NewRenderer(cfg.sceneCfg)
+	rec, err := recognizer.New(cfg.recCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := rec.BuildReferences(rend, scene.View{
+		AltitudeM: cfg.negotAlt, DistanceM: cfg.standoff,
+	}); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	return &System{
+		Agent:    agent,
+		Rend:     rend,
+		Rec:      rec,
+		Engine:   protocol.NewEngine(cfg.protoCfg, log),
+		Log:      log,
+		Rng:      rng,
+		standoff: cfg.standoff,
+		negotAlt: cfg.negotAlt,
+	}, nil
+}
+
+// EnsureAirborne takes off if the drone is parked.
+func (s *System) EnsureAirborne() error {
+	if s.Agent.D.S.Pos.Z > 0.3 {
+		return nil
+	}
+	if _, err := s.Agent.FlyPattern(flight.PatternTakeOff, geom.Vec3{}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Converse runs the full Fig 3 negotiation against a collaborator standing
+// in the world: real flight patterns, rendered frames, SAX recognition.
+func (s *System) Converse(c *human.Collaborator) (protocol.Result, error) {
+	if c == nil {
+		return protocol.Result{}, errors.New("core: nil collaborator")
+	}
+	if err := s.EnsureAirborne(); err != nil {
+		return protocol.Result{}, err
+	}
+	env := newConversationEnv(s, c)
+	res, err := s.Engine.Negotiate(env)
+	env.close()
+	return res, err
+}
+
+// StandoffPoint computes the negotiation hover point for a collaborator:
+// standoff distance away (on the drone's current approach bearing) at
+// negotiation altitude.
+func (s *System) StandoffPoint(c *human.Collaborator) geom.Vec3 {
+	from := s.Agent.D.S.Pos.XY()
+	dir := from.Sub(c.Pos)
+	if dir.Norm() < 1e-9 {
+		dir = geom.V2(0, -1)
+	}
+	p := c.Pos.Add(dir.Unit().Scale(s.standoff))
+	return geom.V3(p.X, p.Y, s.negotAlt)
+}

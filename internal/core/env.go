@@ -1,0 +1,168 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"hdc/internal/body"
+	"hdc/internal/drone"
+	"hdc/internal/flight"
+	"hdc/internal/geom"
+	"hdc/internal/human"
+	"hdc/internal/protocol"
+	"hdc/internal/recognizer"
+	"hdc/internal/scene"
+)
+
+// conversationEnv binds protocol.Env to the full simulated stack: flight
+// patterns are flown by the drone agent, and PerceiveSign renders the
+// collaborator from the drone's actual pose and runs the SAX recogniser on
+// the frame. This is where Fig 3 happens end to end.
+type conversationEnv struct {
+	sys   *System
+	human *human.Collaborator
+
+	extra     time.Duration // perception time not covered by the agent clock
+	lastPoked bool
+	lastAsked bool
+}
+
+func newConversationEnv(s *System, c *human.Collaborator) *conversationEnv {
+	// The safety monitor must know about the collaborator, and the
+	// negotiated approach happens inside the separation bubble, so the
+	// waiver is managed around EnterArea.
+	s.Agent.SetHumans([]geom.Vec2{c.Pos})
+	return &conversationEnv{sys: s, human: c}
+}
+
+func (e *conversationEnv) close() {
+	e.sys.Agent.WaiveSeparation(false)
+}
+
+// Now implements protocol.Env.
+func (e *conversationEnv) Now() time.Duration { return e.sys.Agent.Clock() + e.extra }
+
+// mapErr converts agent safety trips into protocol aborts.
+func mapErr(err error) error {
+	if errors.Is(err, drone.ErrSafetyTripped) {
+		return protocol.ErrSafetyAbort
+	}
+	return err
+}
+
+// FlyPattern implements protocol.Env.
+func (e *conversationEnv) FlyPattern(p flight.Pattern) error {
+	a := e.sys.Agent
+	var target geom.Vec3
+	switch p {
+	case flight.PatternCruise:
+		target = e.sys.StandoffPoint(e.human)
+	case flight.PatternPoke:
+		e.lastPoked = true
+		target = geom.V3(e.human.Pos.X, e.human.Pos.Y, e.sys.negotAlt)
+	case flight.PatternRectangle:
+		e.lastAsked = true
+		target = geom.V3(e.human.Pos.X, e.human.Pos.Y, e.sys.negotAlt)
+	}
+	_, err := a.FlyPattern(p, target)
+	return mapErr(err)
+}
+
+// PerceiveSign implements protocol.Env: the collaborator reacts to the last
+// communicative pattern, the drone camera renders them from the true
+// relative geometry and the SAX pipeline classifies the frame.
+func (e *conversationEnv) PerceiveSign(timeout time.Duration) (body.Sign, bool, error) {
+	var resp human.Response
+	switch {
+	case e.lastAsked:
+		e.lastAsked = false
+		resp = e.human.RespondAreaRequest()
+	case e.lastPoked:
+		e.lastPoked = false
+		resp = e.human.RespondAttention()
+	default:
+		e.extra += timeout
+		return 0, false, nil
+	}
+	if !resp.Responded || resp.Latency > timeout {
+		e.extra += timeout
+		return 0, false, nil
+	}
+	e.extra += resp.Latency
+
+	// An attending collaborator turns towards the drone (with human
+	// imprecision) before signing.
+	bearing := geom.HeadingOf(e.sys.Agent.D.S.Pos.XY().Sub(e.human.Pos))
+	e.human.Facing = bearing.Add(geom.Deg2Rad(resp.Jitter))
+
+	view, ok := e.viewOf()
+	if !ok {
+		e.extra += timeout - resp.Latency
+		return 0, false, nil
+	}
+	frame, err := e.sys.Rend.Render(resp.Sign, view, resp.BodyOptions(), e.sys.Rng)
+	if err != nil {
+		e.extra += timeout - resp.Latency
+		return 0, false, nil
+	}
+	res, err := e.sys.Rec.Recognize(frame)
+	e.extra += res.Timings.Total
+	if err != nil {
+		if errors.Is(err, recognizer.ErrNoSign) {
+			return 0, false, nil
+		}
+		return 0, false, nil // vision failure = nothing perceived
+	}
+	return res.Sign, true, nil
+}
+
+// viewOf computes the camera view of the collaborator from the drone's
+// actual pose. ok is false when the geometry is outside the renderer's
+// plausible envelope.
+func (e *conversationEnv) viewOf() (scene.View, bool) {
+	dronePos := e.sys.Agent.D.S.Pos
+	dist := dronePos.XY().Dist(e.human.Pos)
+	if dist < 0.5 {
+		return scene.View{}, false
+	}
+	bearingFromHuman := geom.HeadingOf(dronePos.XY().Sub(e.human.Pos))
+	rel := e.human.Facing.Diff(bearingFromHuman)
+	v := scene.View{
+		AltitudeM:  dronePos.Z,
+		DistanceM:  dist,
+		AzimuthDeg: -geom.Rad2Deg(rel),
+	}
+	return v, v.Validate() == nil
+}
+
+// EnterArea implements protocol.Env: the human granted access, so the
+// separation trigger is waived for the approach.
+func (e *conversationEnv) EnterArea() error {
+	a := e.sys.Agent
+	a.WaiveSeparation(true)
+	target := geom.V3(e.human.Pos.X, e.human.Pos.Y, e.sys.negotAlt*0.6)
+	_, err := a.FlyPattern(flight.PatternCruise, target)
+	return mapErr(err)
+}
+
+// Retreat implements protocol.Env: back off to twice the stand-off.
+func (e *conversationEnv) Retreat() error {
+	a := e.sys.Agent
+	a.WaiveSeparation(false)
+	from := a.D.S.Pos.XY()
+	dir := from.Sub(e.human.Pos)
+	if dir.Norm() < 1e-9 {
+		dir = geom.V2(0, -1)
+	}
+	p := e.human.Pos.Add(dir.Unit().Scale(2 * e.sys.standoff))
+	_, err := a.FlyPattern(flight.PatternCruise, geom.V3(p.X, p.Y, e.sys.negotAlt))
+	return mapErr(err)
+}
+
+// SignalDanger implements protocol.Env.
+func (e *conversationEnv) SignalDanger() {
+	e.sys.Agent.Ring.SetDanger()
+}
+
+// Interface compliance.
+var _ protocol.Env = (*conversationEnv)(nil)

@@ -1,0 +1,212 @@
+package flight
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hdc/internal/geom"
+)
+
+// Features summarises a trajectory with the observables a human bystander
+// (or the E12 harness) can extract by watching the drone.
+type Features struct {
+	Duration       float64 // seconds
+	NetHorizontal  float64 // |end-start| on the ground plane (m)
+	PathHorizontal float64 // horizontal path length (m)
+	NetVertical    float64 // end-start altitude (m, signed)
+	VertRange      float64 // max-min altitude (m)
+	VertCycles     int     // completed up-down oscillations
+	YawRange       float64 // total heading swing (rad)
+	YawCycles      int     // completed left-right yaw oscillations
+	Closed         bool    // returns near its starting point
+	CornerCount    int     // quarter-turn-like corners (45°–150°)
+	Reversals      int     // about-face turns (≥150°) — the poke fingerprint
+	StartAlt       float64
+	EndAlt         float64
+}
+
+// ErrTrajectoryTooShort is returned when fewer than three samples exist.
+var ErrTrajectoryTooShort = errors.New("flight: trajectory too short to classify")
+
+// ExtractFeatures computes observer features from a trajectory.
+func ExtractFeatures(tr Trajectory) (Features, error) {
+	if len(tr) < 3 {
+		return Features{}, ErrTrajectoryTooShort
+	}
+	var f Features
+	f.Duration = tr.Duration()
+	start, end := tr[0], tr[len(tr)-1]
+	f.StartAlt = start.Pos.Z
+	f.EndAlt = end.Pos.Z
+	f.NetVertical = end.Pos.Z - start.Pos.Z
+	f.NetHorizontal = end.Pos.XY().Dist(start.Pos.XY())
+
+	minZ, maxZ := start.Pos.Z, start.Pos.Z
+	for i := 1; i < len(tr); i++ {
+		f.PathHorizontal += tr[i].Pos.XY().Dist(tr[i-1].Pos.XY())
+		minZ = math.Min(minZ, tr[i].Pos.Z)
+		maxZ = math.Max(maxZ, tr[i].Pos.Z)
+	}
+	f.VertRange = maxZ - minZ
+	f.Closed = f.NetHorizontal < 0.5 && math.Abs(f.NetVertical) < 0.5
+
+	f.VertCycles = countOscillations(tr, func(s Sample) float64 { return s.Pos.Z }, 0.2)
+
+	// Yaw swing relative to the initial heading, unwrapped.
+	var yawMin, yawMax, acc float64
+	prev := start.Heading
+	for i := 1; i < len(tr); i++ {
+		acc += prev.Diff(tr[i].Heading)
+		prev = tr[i].Heading
+		yawMin = math.Min(yawMin, acc)
+		yawMax = math.Max(yawMax, acc)
+	}
+	f.YawRange = yawMax - yawMin
+	f.YawCycles = countOscillationsF(tr, yawSeries(tr), geom.Deg2Rad(20))
+
+	f.CornerCount, f.Reversals = countTurnEvents(tr)
+	return f, nil
+}
+
+// yawSeries unwraps headings into a continuous angle series.
+func yawSeries(tr Trajectory) []float64 {
+	out := make([]float64, len(tr))
+	var acc float64
+	prev := tr[0].Heading
+	for i := 1; i < len(tr); i++ {
+		acc += prev.Diff(tr[i].Heading)
+		prev = tr[i].Heading
+		out[i] = acc
+	}
+	return out
+}
+
+// countOscillations counts completed out-and-back cycles of a scalar
+// observable with hysteresis band amp.
+func countOscillations(tr Trajectory, get func(Sample) float64, amp float64) int {
+	vals := make([]float64, len(tr))
+	for i, s := range tr {
+		vals[i] = get(s)
+	}
+	return countOscillationsF(tr, vals, amp)
+}
+
+func countOscillationsF(tr Trajectory, vals []float64, amp float64) int {
+	if len(vals) == 0 {
+		return 0
+	}
+	base := vals[0]
+	state := 0 // 0 neutral, +1 above, -1 below
+	var swings int
+	for _, v := range vals {
+		switch {
+		case v > base+amp && state != 1:
+			state = 1
+			swings++
+		case v < base-amp && state != -1:
+			state = -1
+			swings++
+		}
+	}
+	return swings / 2
+}
+
+// countTurnEvents segments the horizontal path into turn events and counts
+// quarter-turn corners (45°–150°, the rectangle fingerprint) and reversals
+// (≥150°, the poke fingerprint). The drone's acceleration limit rounds
+// turns into arcs, so signed turning angle is accumulated per event; an
+// event closes when the path runs straight again or the turn direction
+// flips.
+func countTurnEvents(tr Trajectory) (corners, reversals int) {
+	// Downsample to motion segments of ≥ 0.3 m to suppress jitter.
+	var pts []geom.Vec2
+	last := tr[0].Pos.XY()
+	pts = append(pts, last)
+	for _, s := range tr[1:] {
+		p := s.Pos.XY()
+		if p.Dist(last) >= 0.3 {
+			pts = append(pts, p)
+			last = p
+		}
+	}
+	if len(pts) < 3 {
+		return 0, 0
+	}
+	var acc float64
+	straightRun := 0
+	closeEvent := func() {
+		a := math.Abs(acc)
+		switch {
+		case a >= geom.Deg2Rad(150):
+			reversals++
+		case a >= geom.Deg2Rad(45):
+			corners++
+		}
+		acc = 0
+	}
+	prevDir := pts[1].Sub(pts[0]).Unit()
+	for i := 2; i < len(pts); i++ {
+		dir := pts[i].Sub(pts[i-1]).Unit()
+		turn := math.Atan2(prevDir.Cross(dir), prevDir.Dot(dir))
+		prevDir = dir
+		if math.Abs(turn) < geom.Deg2Rad(12) {
+			straightRun++
+			if straightRun >= 2 {
+				closeEvent()
+			}
+			continue
+		}
+		straightRun = 0
+		if acc != 0 && turn*acc < 0 {
+			closeEvent()
+		}
+		acc += turn
+	}
+	closeEvent()
+	return corners, reversals
+}
+
+// Classify identifies the pattern a trajectory most plausibly realises,
+// returning the features alongside. The rules mirror how the paper intends
+// bystanders to read the patterns: unambiguous gross-motion signatures.
+func Classify(tr Trajectory) (Pattern, Features, error) {
+	f, err := ExtractFeatures(tr)
+	if err != nil {
+		return 0, Features{}, err
+	}
+	switch {
+	// Vertical transit patterns: dominated by altitude change, little
+	// horizontal motion.
+	case f.NetVertical > 1 && f.NetHorizontal < 1 && f.StartAlt < 0.5:
+		return PatternTakeOff, f, nil
+	case f.NetVertical < -1 && f.NetHorizontal < 1 && f.EndAlt < 0.2:
+		return PatternLand, f, nil
+
+	// Nod: repeated vertical oscillation, closed, no net motion.
+	case f.VertCycles >= 2 && f.Closed && f.VertRange < 2:
+		return PatternNod, f, nil
+
+	// Head turn: yaw oscillation with essentially no translation.
+	case f.YawCycles >= 2 && f.PathHorizontal < 1.5:
+		return PatternHeadTurn, f, nil
+
+	// Poke: closed out-and-back lunges — about-face reversals dominate.
+	case f.Closed && f.Reversals >= 2 && f.Reversals > f.CornerCount:
+		return PatternPoke, f, nil
+
+	// Rectangle: closed horizontal circuit with ≥ 3 quarter-turn corners.
+	case f.Closed && f.CornerCount >= 3 && f.PathHorizontal > 4:
+		return PatternRectangle, f, nil
+
+	// Degraded poke (gusts can blur a reversal into a tight arc): closed
+	// path with substantial travel and no vertical signalling.
+	case f.Closed && f.PathHorizontal > 1 && f.VertCycles < 2 && f.Reversals >= 1:
+		return PatternPoke, f, nil
+
+	// Cruise: sustained horizontal displacement at altitude.
+	case f.NetHorizontal > 1.5 && math.Abs(f.NetVertical) < 1:
+		return PatternCruise, f, nil
+	}
+	return 0, f, fmt.Errorf("flight: trajectory matches no pattern (features %+v)", f)
+}

@@ -1,0 +1,122 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Camera is a pinhole camera used by the synthetic drone imaging substrate.
+// It looks from Eye towards Target with the given vertical field of view and
+// produces pixel coordinates in a Width×Height raster (origin top-left,
+// y down).
+type Camera struct {
+	Eye    Vec3    // camera position in world frame
+	Target Vec3    // point the optical axis passes through
+	Up     Vec3    // approximate up direction (re-orthogonalised)
+	VFov   float64 // vertical field of view, radians, in (0, π)
+	Width  int     // raster width in pixels
+	Height int     // raster height in pixels
+
+	// derived basis, built by Build.
+	right, up, fwd Vec3
+	focal          float64 // focal length in pixel units
+	built          bool
+}
+
+// ErrBehindCamera is returned by Project for world points at or behind the
+// image plane.
+var ErrBehindCamera = errors.New("geom: point behind camera")
+
+// NewCamera constructs and initialises a camera. It panics on degenerate
+// configuration (zero view direction, non-positive raster, FOV out of range)
+// because those are programming errors, not runtime conditions.
+func NewCamera(eye, target Vec3, vfovRad float64, width, height int) *Camera {
+	c := &Camera{
+		Eye:    eye,
+		Target: target,
+		Up:     V3(0, 0, 1),
+		VFov:   vfovRad,
+		Width:  width,
+		Height: height,
+	}
+	if err := c.Build(); err != nil {
+		panic(fmt.Sprintf("geom.NewCamera: %v", err))
+	}
+	return c
+}
+
+// Build derives the orthonormal camera basis and focal length from the
+// public fields. It must be called after any field mutation.
+func (c *Camera) Build() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("geom: invalid raster %dx%d", c.Width, c.Height)
+	}
+	if !(c.VFov > 0 && c.VFov < math.Pi) {
+		return fmt.Errorf("geom: invalid vertical FOV %v", c.VFov)
+	}
+	fwd := c.Target.Sub(c.Eye)
+	if fwd.Norm() == 0 {
+		return errors.New("geom: eye and target coincide")
+	}
+	c.fwd = fwd.Unit()
+	up := c.Up
+	if up.Norm() == 0 {
+		up = V3(0, 0, 1)
+	}
+	right := c.fwd.Cross(up)
+	if right.Norm() < 1e-12 {
+		// Looking straight along up; pick an arbitrary horizontal right.
+		right = c.fwd.Cross(V3(0, 1, 0))
+		if right.Norm() < 1e-12 {
+			right = c.fwd.Cross(V3(1, 0, 0))
+		}
+	}
+	c.right = right.Unit()
+	c.up = c.right.Cross(c.fwd).Unit()
+	c.focal = float64(c.Height) / (2 * math.Tan(c.VFov/2))
+	c.built = true
+	return nil
+}
+
+// Project maps a world point to continuous pixel coordinates. It returns
+// ErrBehindCamera when the point is not strictly in front of the camera.
+func (c *Camera) Project(p Vec3) (Vec2, error) {
+	if !c.built {
+		if err := c.Build(); err != nil {
+			return Vec2{}, err
+		}
+	}
+	d := p.Sub(c.Eye)
+	z := d.Dot(c.fwd)
+	if z <= 1e-9 {
+		return Vec2{}, ErrBehindCamera
+	}
+	x := d.Dot(c.right) / z * c.focal
+	y := d.Dot(c.up) / z * c.focal
+	return Vec2{
+		X: float64(c.Width)/2 + x,
+		Y: float64(c.Height)/2 - y,
+	}, nil
+}
+
+// Depth returns the forward distance from the camera to p along the optical
+// axis. Negative values are behind the camera.
+func (c *Camera) Depth(p Vec3) float64 {
+	if !c.built {
+		_ = c.Build()
+	}
+	return p.Sub(c.Eye).Dot(c.fwd)
+}
+
+// PixelsPerMeterAt returns the image scale (pixels per world meter) for
+// objects at forward depth z. Useful for sanity checks on silhouette sizes.
+func (c *Camera) PixelsPerMeterAt(z float64) float64 {
+	if !c.built {
+		_ = c.Build()
+	}
+	if z <= 0 {
+		return 0
+	}
+	return c.focal / z
+}

@@ -1,0 +1,129 @@
+// Package geom provides the small amount of 2-D/3-D geometry the hdc system
+// needs: vectors, headings, poses and a pinhole-projection helper used by the
+// synthetic drone camera.
+//
+// Conventions:
+//   - World frame: X east, Y north, Z up. Ground plane is Z = 0.
+//   - Headings are compass-style: radians clockwise from north (+Y), in
+//     [0, 2π). Heading 0 looks along +Y, heading π/2 along +X.
+//   - Image frame: origin top-left, x right, y down (raster convention).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec2 is a point or direction in the plane.
+type Vec2 struct {
+	X, Y float64
+}
+
+// V2 is shorthand for Vec2{x, y}.
+func V2(x, y float64) Vec2 { return Vec2{X: x, Y: y} }
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product v·w.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the scalar (z-component) cross product v×w.
+func (v Vec2) Cross(w Vec2) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Norm returns the Euclidean length of v.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec2) Dist(w Vec2) float64 { return v.Sub(w).Norm() }
+
+// Unit returns v normalised to length 1. The zero vector is returned
+// unchanged.
+func (v Vec2) Unit() Vec2 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Rotate returns v rotated counter-clockwise by ang radians.
+func (v Vec2) Rotate(ang float64) Vec2 {
+	s, c := math.Sincos(ang)
+	return Vec2{v.X*c - v.Y*s, v.X*s + v.Y*c}
+}
+
+// Angle returns the mathematical angle of v in radians, in (-π, π].
+func (v Vec2) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// Lerp linearly interpolates between v (t=0) and w (t=1).
+func (v Vec2) Lerp(w Vec2, t float64) Vec2 {
+	return Vec2{v.X + (w.X-v.X)*t, v.Y + (w.Y-v.Y)*t}
+}
+
+// String implements fmt.Stringer.
+func (v Vec2) String() string { return fmt.Sprintf("(%.3f, %.3f)", v.X, v.Y) }
+
+// Vec3 is a point or direction in 3-space.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V3 is shorthand for Vec3{x, y, z}.
+func V3(x, y, z float64) Vec3 { return Vec3{X: x, Y: y, Z: z} }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the vector cross product v×w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		X: v.Y*w.Z - v.Z*w.Y,
+		Y: v.Z*w.X - v.X*w.Z,
+		Z: v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// Unit returns v normalised to length 1. The zero vector is returned
+// unchanged.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// XY projects v onto the ground plane.
+func (v Vec3) XY() Vec2 { return Vec2{v.X, v.Y} }
+
+// Lerp linearly interpolates between v (t=0) and w (t=1).
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 {
+	return Vec3{v.X + (w.X-v.X)*t, v.Y + (w.Y-v.Y)*t, v.Z + (w.Z-v.Z)*t}
+}
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string {
+	return fmt.Sprintf("(%.3f, %.3f, %.3f)", v.X, v.Y, v.Z)
+}

@@ -1,0 +1,115 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Heading is a compass heading in radians clockwise from north (+Y),
+// normalised to [0, 2π).
+type Heading float64
+
+// Common headings.
+const (
+	North Heading = 0
+	East  Heading = math.Pi / 2
+	South Heading = math.Pi
+	West  Heading = 3 * math.Pi / 2
+)
+
+// NewHeading normalises rad into [0, 2π).
+func NewHeading(rad float64) Heading {
+	r := math.Mod(rad, 2*math.Pi)
+	if r < 0 {
+		r += 2 * math.Pi
+	}
+	return Heading(r)
+}
+
+// HeadingFromDeg converts compass degrees to a Heading.
+func HeadingFromDeg(deg float64) Heading {
+	return NewHeading(deg * math.Pi / 180)
+}
+
+// Deg returns the heading in compass degrees, in [0, 360).
+func (h Heading) Deg() float64 { return float64(h) * 180 / math.Pi }
+
+// Vec returns the unit ground-plane direction vector of h.
+func (h Heading) Vec() Vec2 {
+	s, c := math.Sincos(float64(h))
+	return Vec2{X: s, Y: c}
+}
+
+// HeadingOf returns the compass heading of direction v. The zero vector maps
+// to North.
+func HeadingOf(v Vec2) Heading {
+	if v.X == 0 && v.Y == 0 {
+		return North
+	}
+	return NewHeading(math.Atan2(v.X, v.Y))
+}
+
+// Diff returns the signed smallest rotation from h to g, in (-π, π].
+func (h Heading) Diff(g Heading) float64 {
+	d := math.Mod(float64(g)-float64(h), 2*math.Pi)
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	if d <= -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}
+
+// AbsDiff returns the unsigned smallest angle between h and g, in [0, π].
+func (h Heading) AbsDiff(g Heading) float64 { return math.Abs(h.Diff(g)) }
+
+// Add returns h rotated clockwise by rad, renormalised.
+func (h Heading) Add(rad float64) Heading { return NewHeading(float64(h) + rad) }
+
+// String implements fmt.Stringer.
+func (h Heading) String() string { return fmt.Sprintf("%.1f°", h.Deg()) }
+
+// Pose is a position with an orientation on the ground plane plus altitude —
+// the minimal description of where a drone is and where it points.
+type Pose struct {
+	Pos     Vec3
+	Heading Heading
+}
+
+// Forward returns the ground-plane unit vector the pose faces.
+func (p Pose) Forward() Vec2 { return p.Heading.Vec() }
+
+// String implements fmt.Stringer.
+func (p Pose) String() string {
+	return fmt.Sprintf("pos=%v hdg=%v", p.Pos, p.Heading)
+}
+
+// Deg2Rad converts degrees to radians.
+func Deg2Rad(d float64) float64 { return d * math.Pi / 180 }
+
+// Rad2Deg converts radians to degrees.
+func Rad2Deg(r float64) float64 { return r * 180 / math.Pi }
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// WrapAngle normalises an angle to (-π, π].
+func WrapAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	if a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}

@@ -1,0 +1,199 @@
+package gesture
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdc/internal/body"
+	"hdc/internal/scene"
+	"hdc/internal/vision"
+)
+
+func newRecognizer(t testing.TB) *Recognizer {
+	t.Helper()
+	rend := scene.NewRenderer(scene.Config{})
+	r, err := NewRecognizer(Config{}, rend, scene.ReferenceView())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestGestureStringsAndValidity(t *testing.T) {
+	for _, g := range Gestures() {
+		if !g.Valid() || g.String() == "" {
+			t.Fatalf("gesture %d broken", int(g))
+		}
+	}
+	if Gesture(0).Valid() {
+		t.Fatal("zero gesture should be invalid")
+	}
+	if Gesture(99).String() == "" {
+		t.Fatal("unknown gesture string empty")
+	}
+}
+
+func TestFigureAtCyclesSmoothly(t *testing.T) {
+	// The wave's wrist must move laterally across the cycle and return.
+	wrist := func(phase float64) float64 {
+		f, err := FigureAt(GestureWave, phase, body.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, r := f.WristHeights()
+		_ = r
+		// lateral position of the right hand: last capsule endpoint.
+		return f.Capsules[len(f.Capsules)-1].B.X
+	}
+	x0 := wrist(0)
+	x25 := wrist(0.25)
+	x75 := wrist(0.75)
+	x1 := wrist(1.0)
+	if math.Abs(x0-x1) > 1e-9 {
+		t.Fatal("cycle must close")
+	}
+	if math.Abs(x25-x75) < 0.05 {
+		t.Fatalf("wave has no lateral swing: %v vs %v", x25, x75)
+	}
+	// Phase outside [0,1) is wrapped.
+	if math.Abs(wrist(1.25)-x25) > 1e-9 {
+		t.Fatal("phase wrapping broken")
+	}
+}
+
+func TestFigureAtInvalid(t *testing.T) {
+	if _, err := FigureAt(Gesture(0), 0, body.Options{}); err == nil {
+		t.Fatal("invalid gesture should fail")
+	}
+}
+
+func TestExtractFeaturesOnFrame(t *testing.T) {
+	rend := scene.NewRenderer(scene.Config{})
+	fig, err := FigureAt(GestureWave, 0.25, body.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := rend.RenderFigure(fig, scene.ReferenceView(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := vision.OtsuBinarize(frame)
+	f, err := ExtractFeatures(mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.CenX < -1.2 || f.CenX > 1.2 {
+		t.Fatalf("CenX %v out of range", f.CenX)
+	}
+	if f.Aspect <= 0 || f.Aspect > 5 {
+		t.Fatalf("Aspect %v out of range", f.Aspect)
+	}
+	// Empty mask fails.
+	if _, err := ExtractFeatures(vision.NewBinary(8, 8)); err == nil {
+		t.Fatal("empty mask should fail")
+	}
+}
+
+func TestRecognizerSelfClassification(t *testing.T) {
+	r := newRecognizer(t)
+	for _, g := range Gestures() {
+		m, err := r.Observe(g, scene.ReferenceView(), 0, body.Options{}, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if m.Gesture != g {
+			t.Fatalf("%v classified as %v (dist %.2f)", g, m.Gesture, m.Dist)
+		}
+	}
+}
+
+func TestRecognizerPhaseInvariance(t *testing.T) {
+	// The capture can start anywhere in the gesture cycle.
+	r := newRecognizer(t)
+	for _, phase0 := range []float64{0.1, 0.33, 0.5, 0.77} {
+		for _, g := range Gestures() {
+			m, err := r.Observe(g, scene.ReferenceView(), phase0, body.Options{}, nil)
+			if err != nil {
+				t.Fatalf("%v @ phase %v: %v", g, phase0, err)
+			}
+			if m.Gesture != g {
+				t.Fatalf("%v @ phase %v → %v", g, phase0, m.Gesture)
+			}
+		}
+	}
+}
+
+func TestRecognizerUnderJitterAndNoise(t *testing.T) {
+	r := newRecognizer(t)
+	rng := rand.New(rand.NewSource(3))
+	hits, trials := 0, 0
+	for _, g := range Gestures() {
+		for k := 0; k < 4; k++ {
+			m, err := r.Observe(g, scene.ReferenceView(), rng.Float64(),
+				body.Options{ArmJitterDeg: rng.NormFloat64() * 3}, rng)
+			trials++
+			if err == nil && m.Gesture == g {
+				hits++
+			}
+		}
+	}
+	if hits < trials*3/4 {
+		t.Fatalf("noisy gesture recognition %d/%d below 75%%", hits, trials)
+	}
+}
+
+func TestRecognizerModerateAzimuth(t *testing.T) {
+	// Dynamic signals should tolerate off-axis viewing at least as far as
+	// the static signs do (the temporal channels survive foreshortening).
+	r := newRecognizer(t)
+	v := scene.View{AltitudeM: 5, DistanceM: 3, AzimuthDeg: 40}
+	for _, g := range []Gesture{GestureWave, GesturePump} {
+		m, err := r.Observe(g, v, 0.2, body.Options{}, nil)
+		if err != nil {
+			t.Fatalf("%v @ 40°: %v", g, err)
+		}
+		if m.Gesture != g {
+			t.Fatalf("%v @ 40° → %v (dist %.2f)", g, m.Gesture, m.Dist)
+		}
+	}
+}
+
+func TestClassifyValidation(t *testing.T) {
+	r := newRecognizer(t)
+	if _, err := r.Classify(nil, nil); err == nil {
+		t.Fatal("empty series should fail")
+	}
+	if _, err := r.Classify(make([]float64, 4), make([]float64, 5)); err == nil {
+		t.Fatal("mismatched series should fail")
+	}
+}
+
+func TestStaticPoseRejected(t *testing.T) {
+	// A static sign held still produces flat feature series — no gesture
+	// should be accepted.
+	r := newRecognizer(t)
+	rend := scene.NewRenderer(scene.Config{})
+	n := 24
+	topX := make([]float64, 0, n)
+	topY := make([]float64, 0, n)
+	fig, err := body.NewFigure(body.SignAttention, body.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		frame, err := rend.RenderFigure(fig, scene.ReferenceView(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := ExtractFeatures(vision.OtsuBinarize(frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		topX = append(topX, f.CenX)
+		topY = append(topY, f.Aspect)
+	}
+	if _, err := r.Classify(topX, topY); err == nil {
+		t.Fatal("static pose accepted as a gesture")
+	}
+}

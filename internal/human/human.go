@@ -1,0 +1,203 @@
+// Package human models the collaborators of the paper's user stories (§II):
+// the orchard supervisor (well trained), orchard worker (partially trained)
+// and orchard visitor (untrained). Each role answers drone requests with a
+// role-dependent probability of producing the correct marshalling sign,
+// signing precision (arm jitter) and reaction latency — the behavioural
+// substrate for the negotiation and mission experiments.
+package human
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hdc/internal/body"
+	"hdc/internal/geom"
+)
+
+// Role is the training level of a collaborator. Enums start at 1.
+type Role int
+
+// The paper's three user-story characters.
+const (
+	// RoleSupervisor is well trained: prompt, accurate signing.
+	RoleSupervisor Role = iota + 1
+	// RoleWorker is partially trained: mostly accurate, slower.
+	RoleWorker
+	// RoleVisitor is untrained: frequently ignores the drone or signs
+	// imprecisely.
+	RoleVisitor
+)
+
+// Roles lists all roles.
+func Roles() []Role { return []Role{RoleSupervisor, RoleWorker, RoleVisitor} }
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleSupervisor:
+		return "Supervisor"
+	case RoleWorker:
+		return "Worker"
+	case RoleVisitor:
+		return "Visitor"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Valid reports whether r is a defined role.
+func (r Role) Valid() bool { return r >= RoleSupervisor && r <= RoleVisitor }
+
+// Profile is a role's behavioural parameters.
+type Profile struct {
+	// AttentionProb is the probability of responding to a poke at all.
+	AttentionProb float64
+	// CorrectSignProb is the probability that the produced sign is the
+	// intended one (errors produce a uniformly random other sign).
+	CorrectSignProb float64
+	// JitterStdDeg is the arm-angle imprecision when signing.
+	JitterStdDeg float64
+	// ReactionMean is the mean delay before the sign is shown.
+	ReactionMean time.Duration
+	// ReactionStd is the spread of that delay.
+	ReactionStd time.Duration
+	// GrantProb is the probability the human answers Yes to an area
+	// request (vs No).
+	GrantProb float64
+}
+
+// DefaultProfile returns the calibrated behaviour for a role.
+func DefaultProfile(r Role) (Profile, error) {
+	switch r {
+	case RoleSupervisor:
+		return Profile{
+			AttentionProb:   0.98,
+			CorrectSignProb: 0.99,
+			JitterStdDeg:    2,
+			ReactionMean:    1200 * time.Millisecond,
+			ReactionStd:     300 * time.Millisecond,
+			GrantProb:       0.9,
+		}, nil
+	case RoleWorker:
+		return Profile{
+			AttentionProb:   0.92,
+			CorrectSignProb: 0.93,
+			JitterStdDeg:    5,
+			ReactionMean:    2 * time.Second,
+			ReactionStd:     700 * time.Millisecond,
+			GrantProb:       0.8,
+		}, nil
+	case RoleVisitor:
+		return Profile{
+			AttentionProb:   0.7,
+			CorrectSignProb: 0.75,
+			JitterStdDeg:    10,
+			ReactionMean:    3500 * time.Millisecond,
+			ReactionStd:     1500 * time.Millisecond,
+			GrantProb:       0.65,
+		}, nil
+	default:
+		return Profile{}, fmt.Errorf("human: invalid role %d", int(r))
+	}
+}
+
+// Collaborator is one human in the environment.
+type Collaborator struct {
+	Name    string
+	Role    Role
+	Profile Profile
+	Pos     geom.Vec2 // ground position (m)
+	Facing  geom.Heading
+
+	rng *rand.Rand
+}
+
+// New creates a collaborator with the role's default profile. rng must be
+// non-nil: every behavioural draw flows through it for reproducibility.
+func New(name string, role Role, pos geom.Vec2, rng *rand.Rand) (*Collaborator, error) {
+	if rng == nil {
+		return nil, errors.New("human: nil rng")
+	}
+	prof, err := DefaultProfile(role)
+	if err != nil {
+		return nil, err
+	}
+	return &Collaborator{Name: name, Role: role, Profile: prof, Pos: pos, rng: rng}, nil
+}
+
+// Response is what the collaborator does after being poked and asked.
+type Response struct {
+	Responded bool          // false: the human ignored the drone
+	Sign      body.Sign     // sign actually produced (may be wrong!)
+	Intended  body.Sign     // sign the human meant
+	Latency   time.Duration // delay before the sign was shown
+	Jitter    float64       // arm jitter applied (degrees)
+}
+
+// RespondAttention decides whether the human acknowledges a poke and, if
+// so, produces the AttentionGained sign.
+func (c *Collaborator) RespondAttention() Response {
+	if c.rng.Float64() > c.Profile.AttentionProb {
+		return Response{Responded: false}
+	}
+	return c.produce(body.SignAttention)
+}
+
+// RespondAreaRequest decides the answer to "may I occupy your area?"
+// (Fig 3): Yes with GrantProb, otherwise No — then realises the sign with
+// role-dependent imperfection.
+func (c *Collaborator) RespondAreaRequest() Response {
+	intended := body.SignNo
+	if c.rng.Float64() < c.Profile.GrantProb {
+		intended = body.SignYes
+	}
+	return c.produce(intended)
+}
+
+// produce realises an intended sign with the role's error model.
+func (c *Collaborator) produce(intended body.Sign) Response {
+	actual := intended
+	if c.rng.Float64() > c.Profile.CorrectSignProb {
+		actual = c.randomOtherSign(intended)
+	}
+	lat := c.Profile.ReactionMean + time.Duration(c.rng.NormFloat64()*float64(c.Profile.ReactionStd))
+	if lat < 0 {
+		lat = 0
+	}
+	return Response{
+		Responded: true,
+		Sign:      actual,
+		Intended:  intended,
+		Latency:   lat,
+		Jitter:    c.rng.NormFloat64() * c.Profile.JitterStdDeg,
+	}
+}
+
+func (c *Collaborator) randomOtherSign(not body.Sign) body.Sign {
+	options := make([]body.Sign, 0, 2)
+	for _, s := range body.AllSigns() {
+		if s != not {
+			options = append(options, s)
+		}
+	}
+	return options[c.rng.Intn(len(options))]
+}
+
+// BodyOptions converts a response into figure options for rendering.
+func (r Response) BodyOptions() body.Options {
+	return body.Options{ArmJitterDeg: r.Jitter}
+}
+
+// Walk moves the collaborator by a random step of at most stepM meters —
+// the orchard world uses it to circulate workers between trees.
+func (c *Collaborator) Walk(stepM float64) {
+	if stepM <= 0 {
+		return
+	}
+	ang := c.rng.Float64() * 2 * 3.141592653589793
+	dist := c.rng.Float64() * stepM
+	c.Pos = c.Pos.Add(geom.V2(dist, 0).Rotate(ang))
+	c.Facing = geom.HeadingOf(geom.V2(dist, 0).Rotate(ang))
+}

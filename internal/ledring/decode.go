@@ -1,0 +1,69 @@
+package ledring
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hdc/internal/geom"
+)
+
+// DecodeHeading is the observer side of the navigation display: given the
+// LED colours a bystander sees, estimate the displayed direction of flight.
+// The direction is read off the port/starboard (red→green) boundary. It is
+// used by the E11 ablation to quantify how heading readability degrades
+// with LED count.
+func DecodeHeading(leds []Color) (geom.Heading, error) {
+	n := len(leds)
+	if n < 3 {
+		return 0, errors.New("ledring: too few LEDs to decode")
+	}
+	var reds, greens, whites int
+	for _, c := range leds {
+		switch c {
+		case Red:
+			reds++
+		case Green:
+			greens++
+		case White:
+			whites++
+		case Off:
+			// ignored
+		}
+	}
+	if greens == 0 || reds == 0 {
+		return 0, fmt.Errorf("ledring: not a navigation display (%d red, %d green, %d white)", reds, greens, whites)
+	}
+	// The nose LED is the first green encountered clockwise after a red.
+	for i := 0; i < n; i++ {
+		prev := leds[(i-1+n)%n]
+		if leds[i] == Green && prev == Red {
+			return geom.NewHeading(2 * math.Pi * float64(i) / float64(n)), nil
+		}
+	}
+	return 0, errors.New("ledring: no red→green boundary found")
+}
+
+// IsDanger reports whether the display reads as the all-red danger state.
+func IsDanger(leds []Color) bool {
+	if len(leds) == 0 {
+		return false
+	}
+	for _, c := range leds {
+		if c != Red {
+			return false
+		}
+	}
+	return true
+}
+
+// HeadingQuantizationErrorDeg returns the worst-case heading display error
+// of a ring with n LEDs: the displayed direction snaps to the nearest LED,
+// so the worst case is half the angular pitch. This is the analytic core of
+// the E11 LED-count ablation.
+func HeadingQuantizationErrorDeg(n int) float64 {
+	if n <= 0 {
+		return 180
+	}
+	return 180 / float64(n)
+}

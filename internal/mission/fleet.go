@@ -1,0 +1,129 @@
+package mission
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"hdc/internal/core"
+	"hdc/internal/geom"
+	"hdc/internal/orchard"
+)
+
+// fleet.go extends the mission layer to multiple drones — the collaborative
+// operation the paper's abstract motivates. The traps are partitioned
+// among the drones by angular sector around the orchard centre (cheap,
+// balanced, and spatially coherent); each drone then runs an ordinary
+// single-drone mission over its share. Drones fly in the same world, so
+// negotiations and human movement interleave in simulation time.
+
+// Fleet is a set of systems sharing one orchard.
+type Fleet struct {
+	Missions []*Mission
+	World    *orchard.Orchard
+}
+
+// FleetReport aggregates the per-drone reports.
+type FleetReport struct {
+	PerDrone        []Report
+	TrapsTotal      int
+	TrapsRead       int
+	Negotiations    int
+	Granted         int
+	Denied          int
+	NoResponse      int
+	Aborted         int
+	MaxDroneTime    time.Duration // longest per-drone flight clock (fleet makespan)
+	MeanBatteryUsed float64
+}
+
+// NewFleet builds n missions over one shared world. makeSystem constructs
+// drone i's system (letting callers place homes and seeds).
+func NewFleet(n int, world *orchard.Orchard, cfg Config,
+	makeSystem func(i int) (*core.System, error)) (*Fleet, error) {
+	if n < 1 {
+		return nil, errors.New("mission: fleet size < 1")
+	}
+	if world == nil || makeSystem == nil {
+		return nil, errors.New("mission: nil world or system factory")
+	}
+	f := &Fleet{World: world}
+	for i := 0; i < n; i++ {
+		sys, err := makeSystem(i)
+		if err != nil {
+			return nil, fmt.Errorf("mission: drone %d: %w", i, err)
+		}
+		m, err := New(sys, world, cfg)
+		if err != nil {
+			return nil, err
+		}
+		f.Missions = append(f.Missions, m)
+	}
+	return f, nil
+}
+
+// PartitionTraps splits traps into k angular sectors around their centroid,
+// balancing counts by splitting the angular order evenly.
+func PartitionTraps(traps []*orchard.Trap, k int) [][]*orchard.Trap {
+	if k < 1 {
+		return nil
+	}
+	if k == 1 || len(traps) <= k {
+		out := make([][]*orchard.Trap, k)
+		for i, t := range traps {
+			out[i%k] = append(out[i%k], t)
+		}
+		return out
+	}
+	var cx, cy float64
+	for _, t := range traps {
+		cx += t.Pos.X
+		cy += t.Pos.Y
+	}
+	cx /= float64(len(traps))
+	cy /= float64(len(traps))
+	sorted := make([]*orchard.Trap, len(traps))
+	copy(sorted, traps)
+	sort.Slice(sorted, func(i, j int) bool {
+		ai := geom.V2(sorted[i].Pos.X-cx, sorted[i].Pos.Y-cy).Angle()
+		aj := geom.V2(sorted[j].Pos.X-cx, sorted[j].Pos.Y-cy).Angle()
+		return ai < aj
+	})
+	out := make([][]*orchard.Trap, k)
+	per := (len(sorted) + k - 1) / k
+	for i, t := range sorted {
+		out[i/per] = append(out[i/per], t)
+	}
+	return out
+}
+
+// Run executes every drone's share. Drones run sequentially in host time
+// but their flight clocks are independent, so the fleet makespan is the
+// maximum per-drone time — the quantity a real concurrent fleet would
+// experience.
+func (f *Fleet) Run() (FleetReport, error) {
+	parts := PartitionTraps(f.World.UnreadTraps(), len(f.Missions))
+	var rep FleetReport
+	for i, m := range f.Missions {
+		share := parts[i]
+		r, err := m.runOver(share)
+		if err != nil {
+			return rep, fmt.Errorf("mission: drone %d: %w", i, err)
+		}
+		rep.PerDrone = append(rep.PerDrone, r)
+		rep.TrapsTotal += r.TrapsTotal
+		rep.TrapsRead += r.TrapsRead
+		rep.Negotiations += r.Negotiations
+		rep.Granted += r.Granted
+		rep.Denied += r.Denied
+		rep.NoResponse += r.NoResponse
+		rep.Aborted += r.Aborted
+		rep.MeanBatteryUsed += r.BatteryUsed
+		if t := m.Sys.Agent.Clock(); t > rep.MaxDroneTime {
+			rep.MaxDroneTime = t
+		}
+	}
+	rep.MeanBatteryUsed /= float64(len(f.Missions))
+	return rep, nil
+}

@@ -1,0 +1,140 @@
+package mission
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"hdc/internal/core"
+	"hdc/internal/geom"
+	"hdc/internal/orchard"
+)
+
+func TestPartitionTrapsCoversAll(t *testing.T) {
+	o := newWorld(t, orchard.Config{Rows: 4, Cols: 6, TrapEvery: 2}, 9)
+	for _, k := range []int{1, 2, 3, 5} {
+		parts := PartitionTraps(o.Traps, k)
+		if len(parts) != k {
+			t.Fatalf("k=%d: %d partitions", k, len(parts))
+		}
+		seen := map[int]int{}
+		total := 0
+		for _, p := range parts {
+			for _, tr := range p {
+				seen[tr.ID]++
+				total++
+			}
+		}
+		if total != len(o.Traps) {
+			t.Fatalf("k=%d: partition covers %d/%d traps", k, total, len(o.Traps))
+		}
+		for id, n := range seen {
+			if n != 1 {
+				t.Fatalf("k=%d: trap %d assigned %d times", k, id, n)
+			}
+		}
+		// Balance: no partition more than twice the ideal share.
+		ideal := len(o.Traps) / k
+		for i, p := range parts {
+			if ideal > 0 && len(p) > 2*ideal+1 {
+				t.Fatalf("k=%d: partition %d has %d traps (ideal %d)", k, i, len(p), ideal)
+			}
+		}
+	}
+	if PartitionTraps(nil, 0) != nil {
+		t.Fatal("k=0 should give nil")
+	}
+}
+
+func TestNewFleetValidation(t *testing.T) {
+	o := newWorld(t, orchard.Config{}, 10)
+	mk := func(i int) (*core.System, error) { return core.NewSystem() }
+	if _, err := NewFleet(0, o, Config{}, mk); err == nil {
+		t.Fatal("fleet size 0 should fail")
+	}
+	if _, err := NewFleet(1, nil, Config{}, mk); err == nil {
+		t.Fatal("nil world should fail")
+	}
+	if _, err := NewFleet(1, o, Config{}, nil); err == nil {
+		t.Fatal("nil factory should fail")
+	}
+}
+
+func TestFleetRunCoversWorld(t *testing.T) {
+	world, err := orchard.Generate(orchard.Config{
+		Rows: 3, Cols: 4, TrapEvery: 2, Humans: 2,
+	}, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	world.Step(time.Hour)
+	fleet, err := NewFleet(2, world, Config{}, func(i int) (*core.System, error) {
+		return core.NewSystem(
+			core.WithSeed(int64(200+i)),
+			core.WithHome(geom.V3(-5-float64(3*i), -5, 0)),
+		)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fleet.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrapsTotal != 6 {
+		t.Fatalf("fleet covers %d traps, want 6", rep.TrapsTotal)
+	}
+	if rep.TrapsRead == 0 {
+		t.Fatal("fleet read nothing")
+	}
+	if len(rep.PerDrone) != 2 {
+		t.Fatalf("per-drone reports: %d", len(rep.PerDrone))
+	}
+	if rep.MaxDroneTime <= 0 {
+		t.Fatal("makespan missing")
+	}
+	if rep.MeanBatteryUsed <= 0 {
+		t.Fatal("battery accounting missing")
+	}
+	// Aggregates are consistent with per-drone reports.
+	var reads int
+	for _, r := range rep.PerDrone {
+		reads += r.TrapsRead
+	}
+	if reads != rep.TrapsRead {
+		t.Fatalf("aggregate reads %d != sum %d", rep.TrapsRead, reads)
+	}
+}
+
+func TestFleetSharesMakespanShrinks(t *testing.T) {
+	run := func(n int) time.Duration {
+		world, err := orchard.Generate(orchard.Config{
+			Rows: 4, Cols: 6, TrapEvery: 2, Humans: 0,
+		}, rand.New(rand.NewSource(13)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet, err := NewFleet(n, world, Config{}, func(i int) (*core.System, error) {
+			return core.NewSystem(
+				core.WithSeed(int64(300+i)),
+				core.WithHome(geom.V3(-5-float64(3*i), -5, 0)),
+			)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := fleet.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TrapsRead != rep.TrapsTotal {
+			t.Fatalf("n=%d: %d/%d traps read in human-free world", n, rep.TrapsRead, rep.TrapsTotal)
+		}
+		return rep.MaxDroneTime
+	}
+	t1 := run(1)
+	t3 := run(3)
+	if t3 >= t1 {
+		t.Fatalf("fleet makespan did not shrink: 1 drone %v vs 3 drones %v", t1, t3)
+	}
+}

@@ -1,0 +1,152 @@
+package protocol
+
+import (
+	"math/rand"
+	"time"
+
+	"hdc/internal/body"
+	"hdc/internal/flight"
+	"hdc/internal/human"
+)
+
+// SimEnv is a lightweight, flight-free environment for protocol-level
+// simulation and testing: patterns take scripted time, perception is driven
+// by a human.Collaborator behaviour model plus a recognition error model.
+// It also audits the safety invariant: EnterArea before a perceived Yes
+// trips the Violated flag.
+type SimEnv struct {
+	Human *human.Collaborator
+	// RecognitionProb is the probability a shown sign is correctly
+	// recognised within the timeout (default 0.95).
+	RecognitionProb float64
+	// MisreadProb is the probability a recognised sign is the WRONG one
+	// (confusion, e.g. dead-angle erratic matches; default 0.02).
+	MisreadProb float64
+	// PatternDur is the simulated duration of each flown pattern
+	// (default 4 s).
+	PatternDur time.Duration
+	// AbortAfter, when positive, trips ErrSafetyAbort once the simulation
+	// clock passes it (battery/geofence injection).
+	AbortAfter time.Duration
+
+	Rng *rand.Rand
+
+	// Audit state.
+	now       time.Duration
+	sawYes    bool
+	Entered   bool
+	Violated  bool // EnterArea called without a prior perceived Yes
+	DangerOn  bool
+	Flown     []flight.Pattern
+	lastPoked bool
+	lastAsked bool
+}
+
+// NewSimEnv builds a scripted environment around a collaborator.
+func NewSimEnv(h *human.Collaborator, rng *rand.Rand) *SimEnv {
+	return &SimEnv{
+		Human:           h,
+		RecognitionProb: 0.95,
+		MisreadProb:     0.02,
+		PatternDur:      4 * time.Second,
+		Rng:             rng,
+	}
+}
+
+// Now implements Env.
+func (s *SimEnv) Now() time.Duration { return s.now }
+
+func (s *SimEnv) advance(d time.Duration) { s.now += d }
+
+func (s *SimEnv) checkAbort() error {
+	if s.AbortAfter > 0 && s.now >= s.AbortAfter {
+		return ErrSafetyAbort
+	}
+	return nil
+}
+
+// FlyPattern implements Env: patterns consume time; Poke and Rectangle arm
+// the human response for the next PerceiveSign.
+func (s *SimEnv) FlyPattern(p flight.Pattern) error {
+	s.advance(s.PatternDur)
+	if err := s.checkAbort(); err != nil {
+		return err
+	}
+	s.Flown = append(s.Flown, p)
+	switch p {
+	case flight.PatternPoke:
+		s.lastPoked = true
+	case flight.PatternRectangle:
+		s.lastAsked = true
+	}
+	return nil
+}
+
+// PerceiveSign implements Env: consults the human model for the armed
+// stimulus and filters it through the recognition error model.
+func (s *SimEnv) PerceiveSign(timeout time.Duration) (body.Sign, bool, error) {
+	if err := s.checkAbort(); err != nil {
+		return 0, false, err
+	}
+	var resp human.Response
+	switch {
+	case s.lastAsked:
+		s.lastAsked = false
+		resp = s.Human.RespondAreaRequest()
+	case s.lastPoked:
+		s.lastPoked = false
+		resp = s.Human.RespondAttention()
+	default:
+		s.advance(timeout)
+		return 0, false, nil
+	}
+	if !resp.Responded || resp.Latency > timeout {
+		s.advance(timeout)
+		return 0, false, nil
+	}
+	s.advance(resp.Latency)
+	// Recognition error model.
+	if s.Rng.Float64() > s.RecognitionProb {
+		s.advance(timeout - resp.Latency)
+		return 0, false, nil
+	}
+	shown := resp.Sign
+	if s.Rng.Float64() < s.MisreadProb {
+		others := []body.Sign{}
+		for _, o := range body.AllSigns() {
+			if o != shown {
+				others = append(others, o)
+			}
+		}
+		shown = others[s.Rng.Intn(len(others))]
+	}
+	if shown == body.SignYes {
+		s.sawYes = true
+	}
+	return shown, true, nil
+}
+
+// EnterArea implements Env and audits the safety invariant.
+func (s *SimEnv) EnterArea() error {
+	s.advance(s.PatternDur)
+	if err := s.checkAbort(); err != nil {
+		return err
+	}
+	s.Entered = true
+	if !s.sawYes {
+		s.Violated = true
+	}
+	return nil
+}
+
+// Retreat implements Env.
+func (s *SimEnv) Retreat() error {
+	s.advance(s.PatternDur)
+	if err := s.checkAbort(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SignalDanger implements Env.
+func (s *SimEnv) SignalDanger() { s.DangerOn = true }

@@ -1,0 +1,160 @@
+package recognizer
+
+import (
+	"errors"
+	"time"
+
+	"hdc/internal/body"
+	"hdc/internal/raster"
+)
+
+// monitor.go adds continuous-stream recognition: the conversation engine
+// does not classify a single frame but watches the collaborator over time,
+// and a sign should only count once it is *held* — a transient arm position
+// passing through a sign's silhouette must not trigger the protocol. The
+// Monitor debounces per-frame classifications into stable sign events.
+
+// MonitorConfig tunes the debouncer.
+type MonitorConfig struct {
+	// HoldFrames is how many consecutive agreeing frames make a sign
+	// stable (default 3).
+	HoldFrames int
+	// ReleaseFrames is how many disagreeing frames clear a held sign
+	// (default 2).
+	ReleaseFrames int
+}
+
+func (c MonitorConfig) withDefaults() MonitorConfig {
+	if c.HoldFrames == 0 {
+		c.HoldFrames = 3
+	}
+	if c.ReleaseFrames == 0 {
+		c.ReleaseFrames = 2
+	}
+	return c
+}
+
+// SignEvent is emitted when a sign becomes stable or is released.
+type SignEvent struct {
+	Sign     body.Sign
+	Stable   bool          // true: sign held; false: sign released
+	At       time.Duration // stream time of the event
+	HeldFor  time.Duration // for release events: how long it was held
+	Distance float64       // match distance of the confirming frame
+}
+
+// Monitor debounces a stream of frames into stable sign events. Not safe
+// for concurrent use.
+type Monitor struct {
+	rec *Recognizer
+	cfg MonitorConfig
+
+	current    body.Sign // candidate sign being accumulated
+	count      int       // consecutive frames agreeing with current
+	misses     int       // consecutive frames disagreeing with held
+	held       body.Sign // currently stable sign (0 = none)
+	heldSince  time.Duration
+	clock      time.Duration
+	frameCount int
+}
+
+// NewMonitor wraps a recognizer (whose references must be built).
+func NewMonitor(rec *Recognizer, cfg MonitorConfig) (*Monitor, error) {
+	if rec == nil {
+		return nil, errors.New("recognizer: nil recognizer")
+	}
+	return &Monitor{rec: rec, cfg: cfg.withDefaults()}, nil
+}
+
+// Held returns the currently stable sign (0 when none).
+func (m *Monitor) Held() body.Sign { return m.held }
+
+// Frames returns how many frames were processed.
+func (m *Monitor) Frames() int { return m.frameCount }
+
+// Push classifies one frame (advancing the stream clock by dt) and returns
+// any events the debouncer emits (0–2: a release possibly followed by a new
+// hold).
+func (m *Monitor) Push(frame *raster.Gray, dt time.Duration) ([]SignEvent, error) {
+	m.clock += dt
+	m.frameCount++
+
+	var seen body.Sign // 0 = nothing acceptable in this frame
+	var dist float64
+	res, err := m.rec.Recognize(frame)
+	if err == nil && res.OK {
+		seen = res.Sign
+		dist = res.Match.Dist
+	} else if err != nil && !errors.Is(err, ErrNoSign) {
+		// Vision errors (empty frame etc.) count as "nothing seen" for
+		// debouncing purposes but are surfaced for diagnostics.
+		seen = 0
+	}
+
+	var events []SignEvent
+
+	// Maintain the hold state.
+	if m.held != 0 {
+		if seen == m.held {
+			m.misses = 0
+		} else {
+			m.misses++
+			if m.misses >= m.cfg.ReleaseFrames {
+				events = append(events, SignEvent{
+					Sign:    m.held,
+					Stable:  false,
+					At:      m.clock,
+					HeldFor: m.clock - m.heldSince,
+				})
+				m.held = 0
+				m.misses = 0
+			}
+		}
+	}
+
+	// Accumulate a candidate.
+	if seen != 0 && seen != m.held {
+		if seen == m.current {
+			m.count++
+		} else {
+			m.current = seen
+			m.count = 1
+		}
+		if m.count >= m.cfg.HoldFrames {
+			if m.held != 0 && m.held != seen {
+				events = append(events, SignEvent{
+					Sign:    m.held,
+					Stable:  false,
+					At:      m.clock,
+					HeldFor: m.clock - m.heldSince,
+				})
+			}
+			m.held = seen
+			m.heldSince = m.clock
+			m.misses = 0
+			m.current = 0
+			m.count = 0
+			events = append(events, SignEvent{
+				Sign:     seen,
+				Stable:   true,
+				At:       m.clock,
+				Distance: dist,
+			})
+		}
+	} else if seen == 0 {
+		m.current = 0
+		m.count = 0
+	}
+	return events, nil
+}
+
+// Reset clears all debouncer state.
+func (m *Monitor) Reset() {
+	m.current = 0
+	m.count = 0
+	m.misses = 0
+	m.held = 0
+	m.heldSince = 0
+	m.clock = 0
+	m.frameCount = 0
+}

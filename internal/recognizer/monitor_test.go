@@ -1,0 +1,149 @@
+package recognizer
+
+import (
+	"testing"
+	"time"
+
+	"hdc/internal/body"
+	"hdc/internal/raster"
+	"hdc/internal/scene"
+)
+
+const frameDT = 100 * time.Millisecond
+
+func pushSign(t *testing.T, m *Monitor, rend *scene.Renderer, s body.Sign, n int) []SignEvent {
+	t.Helper()
+	var out []SignEvent
+	for i := 0; i < n; i++ {
+		frame, err := rend.Render(s, scene.ReferenceView(), body.Options{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs, err := m.Push(frame, frameDT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, evs...)
+	}
+	return out
+}
+
+func newMonitor(t *testing.T) (*Monitor, *scene.Renderer) {
+	t.Helper()
+	rec, rend := newCalibrated(t)
+	m, err := NewMonitor(rec, MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, rend
+}
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(nil, MonitorConfig{}); err == nil {
+		t.Fatal("nil recognizer should fail")
+	}
+}
+
+func TestMonitorStableAfterHoldFrames(t *testing.T) {
+	m, rend := newMonitor(t)
+	// Two frames: not yet stable.
+	evs := pushSign(t, m, rend, body.SignYes, 2)
+	if len(evs) != 0 {
+		t.Fatalf("premature events: %+v", evs)
+	}
+	if m.Held() != 0 {
+		t.Fatal("held too early")
+	}
+	// Third frame: stable.
+	evs = pushSign(t, m, rend, body.SignYes, 1)
+	if len(evs) != 1 || !evs[0].Stable || evs[0].Sign != body.SignYes {
+		t.Fatalf("expected stable Yes, got %+v", evs)
+	}
+	if m.Held() != body.SignYes {
+		t.Fatal("hold not registered")
+	}
+}
+
+func TestMonitorTransientIgnored(t *testing.T) {
+	m, rend := newMonitor(t)
+	// A sign flashing for 2 frames between idle frames must never fire.
+	pushSign(t, m, rend, body.SignNo, 2)
+	evs := pushSign(t, m, rend, body.SignIdle, 3) // idle: nothing recognised
+	if len(evs) != 0 || m.Held() != 0 {
+		t.Fatalf("transient triggered: %+v held=%v", evs, m.Held())
+	}
+}
+
+func TestMonitorRelease(t *testing.T) {
+	m, rend := newMonitor(t)
+	pushSign(t, m, rend, body.SignAttention, 3)
+	if m.Held() != body.SignAttention {
+		t.Fatal("hold missing")
+	}
+	// Sign disappears: released after ReleaseFrames.
+	evs := pushSign(t, m, rend, body.SignIdle, 2)
+	found := false
+	for _, e := range evs {
+		if !e.Stable && e.Sign == body.SignAttention {
+			found = true
+			if e.HeldFor <= 0 {
+				t.Fatal("HeldFor missing")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("release event missing: %+v", evs)
+	}
+	if m.Held() != 0 {
+		t.Fatal("hold not cleared")
+	}
+}
+
+func TestMonitorSignChange(t *testing.T) {
+	m, rend := newMonitor(t)
+	pushSign(t, m, rend, body.SignAttention, 3)
+	// Human switches to Yes: old sign released, new one held.
+	evs := pushSign(t, m, rend, body.SignYes, 3)
+	var released, helded bool
+	for _, e := range evs {
+		if !e.Stable && e.Sign == body.SignAttention {
+			released = true
+		}
+		if e.Stable && e.Sign == body.SignYes {
+			helded = true
+		}
+	}
+	if !released || !helded {
+		t.Fatalf("sign change events wrong: %+v", evs)
+	}
+	if m.Held() != body.SignYes {
+		t.Fatalf("held = %v", m.Held())
+	}
+}
+
+func TestMonitorBlankFramesSafe(t *testing.T) {
+	m, _ := newMonitor(t)
+	blank := raster.MustGray(64, 64)
+	blank.Fill(200)
+	for i := 0; i < 5; i++ {
+		evs, err := m.Push(blank, frameDT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(evs) != 0 {
+			t.Fatalf("blank frames produced events: %+v", evs)
+		}
+	}
+	if m.Frames() != 5 {
+		t.Fatalf("frames = %d", m.Frames())
+	}
+}
+
+func TestMonitorReset(t *testing.T) {
+	m, rend := newMonitor(t)
+	pushSign(t, m, rend, body.SignYes, 3)
+	m.Reset()
+	if m.Held() != 0 || m.Frames() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

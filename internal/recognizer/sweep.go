@@ -1,0 +1,125 @@
+package recognizer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hdc/internal/body"
+	"hdc/internal/scene"
+)
+
+// SweepPoint is one cell of a recognition-envelope sweep (E6/E7).
+type SweepPoint struct {
+	Param      float64 // the swept value (altitude in m, or azimuth in deg)
+	Recognized bool    // accepted and correctly labelled
+	Label      string  // label returned (nearest even when rejected)
+	Dist       float64 // exact match distance
+	Mirrored   bool    // matched through the mirror branch
+}
+
+// SweepAzimuth evaluates recognition of a sign across relative azimuths at a
+// fixed altitude/distance. trialsPerPoint > 1 adds noise/jitter trials and
+// reports the majority outcome; rng may be nil for a single clean trial.
+func SweepAzimuth(r *Recognizer, rend *scene.Renderer, s body.Sign,
+	altitudeM, distanceM float64, azimuthsDeg []float64,
+	trialsPerPoint int, rng *rand.Rand) ([]SweepPoint, error) {
+
+	out := make([]SweepPoint, 0, len(azimuthsDeg))
+	for _, az := range azimuthsDeg {
+		v := scene.View{AltitudeM: altitudeM, DistanceM: distanceM, AzimuthDeg: az}
+		p, err := sweepOne(r, rend, s, v, trialsPerPoint, rng)
+		if err != nil {
+			return nil, fmt.Errorf("recognizer: azimuth %v: %w", az, err)
+		}
+		p.Param = az
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// SweepAltitude evaluates recognition of a sign across altitudes at fixed
+// distance/azimuth (the paper's 2–5 m envelope, E6).
+func SweepAltitude(r *Recognizer, rend *scene.Renderer, s body.Sign,
+	altitudesM []float64, distanceM, azimuthDeg float64,
+	trialsPerPoint int, rng *rand.Rand) ([]SweepPoint, error) {
+
+	out := make([]SweepPoint, 0, len(altitudesM))
+	for _, alt := range altitudesM {
+		v := scene.View{AltitudeM: alt, DistanceM: distanceM, AzimuthDeg: azimuthDeg}
+		p, err := sweepOne(r, rend, s, v, trialsPerPoint, rng)
+		if err != nil {
+			return nil, fmt.Errorf("recognizer: altitude %v: %w", alt, err)
+		}
+		p.Param = alt
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func sweepOne(r *Recognizer, rend *scene.Renderer, s body.Sign, v scene.View,
+	trials int, rng *rand.Rand) (SweepPoint, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	wantLabel := labelFor(s)
+	var hits int
+	var last Result
+	for t := 0; t < trials; t++ {
+		var opts body.Options
+		var trialRng *rand.Rand
+		if rng != nil && trials > 1 {
+			opts.ArmJitterDeg = rng.NormFloat64() * 3
+			trialRng = rng
+		}
+		res, err := r.RecognizeView(rend, s, v, opts, trialRng)
+		if err != nil && err != ErrNoSign {
+			// Vision failures (e.g. silhouette fell apart) count as misses,
+			// not harness errors — that IS the dead-angle phenomenon.
+			continue
+		}
+		last = res
+		if res.OK && res.Label == wantLabel {
+			hits++
+		}
+	}
+	return SweepPoint{
+		Recognized: hits*2 > trials, // majority
+		Label:      last.Match.Label,
+		Dist:       last.Match.Dist,
+		Mirrored:   last.Match.Mirrored,
+	}, nil
+}
+
+// DeadAngle analyses a full-circle azimuth sweep and returns the total arc
+// (degrees) over which the sign was NOT recognised, plus the contiguous dead
+// arcs as [start, end] azimuth pairs. The sweep must cover [0, 360) at a
+// uniform step.
+func DeadAngle(points []SweepPoint) (totalDeg float64, arcs [][2]float64) {
+	if len(points) < 2 {
+		return 0, nil
+	}
+	step := points[1].Param - points[0].Param
+	var cur *[2]float64
+	for _, p := range points {
+		if !p.Recognized {
+			totalDeg += step
+			if cur == nil {
+				cur = &[2]float64{p.Param, p.Param + step}
+			} else {
+				cur[1] = p.Param + step
+			}
+		} else if cur != nil {
+			arcs = append(arcs, *cur)
+			cur = nil
+		}
+	}
+	if cur != nil {
+		// Merge a trailing arc that wraps into a leading one.
+		if len(arcs) > 0 && arcs[0][0] == points[0].Param {
+			arcs[0][0] = cur[0] - 360
+		} else {
+			arcs = append(arcs, *cur)
+		}
+	}
+	return totalDeg, arcs
+}

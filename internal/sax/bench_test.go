@@ -1,0 +1,93 @@
+package sax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdc/internal/timeseries"
+)
+
+func benchSeries(n int) timeseries.Series {
+	rng := rand.New(rand.NewSource(1))
+	s := make(timeseries.Series, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+func BenchmarkEncode128(b *testing.B) {
+	enc, err := NewEncoder(16, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := benchSeries(128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinDist(b *testing.B) {
+	enc, _ := NewEncoder(16, 5)
+	s1, s2 := benchSeries(128), benchSeries(128)
+	w1, _ := enc.Encode(s1)
+	w2, _ := enc.Encode(s2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.MinDist(w1, w2, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinDistRotationMirror(b *testing.B) {
+	enc, _ := NewEncoder(16, 5)
+	s1, s2 := benchSeries(128), benchSeries(128)
+	w1, _ := enc.Encode(s1)
+	w2, _ := enc.Encode(s2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := enc.MinDistRotationMirror(w1, w2, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDatabaseLookup(b *testing.B) {
+	enc, _ := NewEncoder(16, 5)
+	db, err := NewDatabase(enc, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		kind := []string{"two-lobe", "three-lobe", "spike"}[i%3]
+		s := make(timeseries.Series, 128)
+		for j := range s {
+			t := 2 * math.Pi * float64(j) / 128
+			switch kind {
+			case "two-lobe":
+				s[j] = 1 + 0.5*math.Cos(2*t+float64(i))
+			case "three-lobe":
+				s[j] = 1 + 0.5*math.Cos(3*t+float64(i))
+			default:
+				s[j] = 1 + 0.8*math.Exp(-10*(t-math.Pi)*(t-math.Pi))
+			}
+		}
+		if err := db.Add(kind, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := benchSeries(128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = db.Lookup(q, math.Inf(1))
+	}
+}

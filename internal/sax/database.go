@@ -1,0 +1,252 @@
+package sax
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"hdc/internal/timeseries"
+)
+
+// Entry is one labelled reference shape in the database: its SAX word plus
+// the normalised reference series the word was derived from, kept for exact
+// rotation-alignment confirmation.
+type Entry struct {
+	Label  string
+	Word   Word
+	Series timeseries.Series // z-normalised reference signature
+}
+
+// Match is the result of a database lookup.
+type Match struct {
+	Label    string
+	Word     Word
+	WordDist float64 // MINDIST lower bound (rotation-minimised)
+	Dist     float64 // exact rotation-minimised Euclidean distance
+	Shift    int     // series-level circular shift of the best alignment
+	Mirrored bool    // true when the mirror candidate won
+}
+
+// ErrNoMatch is returned by Lookup when no entry passes the acceptance
+// threshold.
+var ErrNoMatch = errors.New("sax: no match within threshold")
+
+// Database is a thread-safe collection of labelled reference words/series
+// with rotation- and mirror-invariant nearest lookup. It is the "database of
+// strings" from the paper's §IV against which captured signs are compared.
+type Database struct {
+	mu        sync.RWMutex
+	enc       *Encoder
+	n         int     // canonical series length
+	shiftFrac float64 // fraction of the series length the shift search may cover (≤0: full)
+	entries   []Entry
+}
+
+// NewDatabase creates a database for signatures of length n symbolised by
+// enc.
+func NewDatabase(enc *Encoder, n int) (*Database, error) {
+	if enc == nil {
+		return nil, errors.New("sax: nil encoder")
+	}
+	if n < enc.Segments() {
+		return nil, fmt.Errorf("sax: series length %d below word length %d", n, enc.Segments())
+	}
+	return &Database{enc: enc, n: n}, nil
+}
+
+// Encoder returns the database's encoder.
+func (db *Database) Encoder() *Encoder { return db.enc }
+
+// SetShiftWindowFrac restricts the rotation-alignment search to ±frac of the
+// signature length (0 or negative restores the full search). Bounding the
+// window preserves tolerance to modest in-plane rotation while preventing a
+// gross rotation from aliasing one sign's lobe pattern onto another's.
+func (db *Database) SetShiftWindowFrac(frac float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.shiftFrac = frac
+}
+
+// seriesShift returns the series-level shift bound (-1 = unbounded).
+func (db *Database) seriesShift() int {
+	if db.shiftFrac <= 0 {
+		return -1
+	}
+	return int(db.shiftFrac * float64(db.n))
+}
+
+// wordShift returns the word-level shift bound matching seriesShift, with a
+// one-symbol safety margin (-1 = unbounded).
+func (db *Database) wordShift() int {
+	if db.shiftFrac <= 0 {
+		return -1
+	}
+	return int(db.shiftFrac*float64(db.enc.Segments())) + 1
+}
+
+// SeriesLen returns the canonical signature length.
+func (db *Database) SeriesLen() int { return db.n }
+
+// Len returns the number of entries.
+func (db *Database) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entries)
+}
+
+// Add registers a labelled reference series. The series is resampled to the
+// canonical length, z-normalised, encoded and stored. Duplicate labels are
+// allowed (multiple exemplars per sign).
+func (db *Database) Add(label string, s timeseries.Series) error {
+	if label == "" {
+		return errors.New("sax: empty label")
+	}
+	rs, err := s.ResampleLinear(db.n)
+	if err != nil {
+		return fmt.Errorf("sax: add %q: %w", label, err)
+	}
+	z := rs.ZNormalize()
+	w, err := db.enc.Encode(z)
+	if err != nil {
+		return fmt.Errorf("sax: add %q: %w", label, err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.entries = append(db.entries, Entry{Label: label, Word: w, Series: z})
+	return nil
+}
+
+// Entries returns a copy of the registered entries, sorted by label then
+// word, for reporting.
+func (db *Database) Entries() []Entry {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]Entry, len(db.entries))
+	copy(out, db.entries)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Label != out[j].Label {
+			return out[i].Label < out[j].Label
+		}
+		return out[i].Word.Symbols < out[j].Word.Symbols
+	})
+	return out
+}
+
+// Lookup finds the nearest entry to the query series under the rotation- and
+// mirror-invariant exact distance, using MINDIST word pruning first. Entries
+// whose exact distance exceeds threshold are rejected; if none survive,
+// ErrNoMatch is returned together with the best (rejected) candidate for
+// diagnostics.
+func (db *Database) Lookup(q timeseries.Series, threshold float64) (Match, error) {
+	rs, err := q.ResampleLinear(db.n)
+	if err != nil {
+		return Match{}, err
+	}
+	z := rs.ZNormalize()
+	qw, err := db.enc.Encode(z)
+	if err != nil {
+		return Match{}, err
+	}
+
+	db.mu.RLock()
+	entries := make([]Entry, len(db.entries))
+	copy(entries, db.entries)
+	wordWin, seriesWin := db.wordShift(), db.seriesShift()
+	db.mu.RUnlock()
+
+	if len(entries) == 0 {
+		return Match{}, ErrNoMatch
+	}
+
+	// Stage 1: MINDIST (rotation+mirror minimised) lower bound per entry.
+	type cand struct {
+		e  Entry
+		lb float64
+	}
+	cands := make([]cand, 0, len(entries))
+	for _, e := range entries {
+		lb, _, _, err := db.enc.MinDistRotationMirrorWindow(qw, e.Word, db.n, wordWin)
+		if err != nil {
+			return Match{}, err
+		}
+		cands = append(cands, cand{e: e, lb: lb})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lb < cands[j].lb })
+
+	// Stage 2: exact rotation/mirror alignment in lower-bound order with
+	// pruning: once an exact distance is at hand, any candidate whose lower
+	// bound exceeds it cannot win.
+	best := Match{Dist: math.Inf(1), WordDist: math.Inf(1)}
+	for _, c := range cands {
+		if c.lb >= best.Dist {
+			break
+		}
+		d, shift, mirrored, err := timeseries.MinRotationMirrorDistWindow(z, c.e.Series, seriesWin)
+		if err != nil {
+			return Match{}, err
+		}
+		if d < best.Dist {
+			best = Match{
+				Label:    c.e.Label,
+				Word:     c.e.Word,
+				WordDist: c.lb,
+				Dist:     d,
+				Shift:    shift,
+				Mirrored: mirrored,
+			}
+		}
+	}
+	if math.IsInf(best.Dist, 1) || best.Dist > threshold {
+		return best, ErrNoMatch
+	}
+	return best, nil
+}
+
+// PairwiseMinDist returns a symmetric matrix of rotation-invariant MINDIST
+// values between all entries (diagnostics for the sign-uniqueness
+// experiment, E8).
+func (db *Database) PairwiseMinDist() (labels []string, d [][]float64, err error) {
+	entries := db.Entries()
+	labels = make([]string, len(entries))
+	d = make([][]float64, len(entries))
+	for i := range entries {
+		labels[i] = entries[i].Label
+		d[i] = make([]float64, len(entries))
+	}
+	for i := range entries {
+		for j := i + 1; j < len(entries); j++ {
+			v, _, _, merr := db.enc.MinDistRotationMirrorWindow(entries[i].Word, entries[j].Word, db.n, db.wordShift())
+			if merr != nil {
+				return nil, nil, merr
+			}
+			d[i][j] = v
+			d[j][i] = v
+		}
+	}
+	return labels, d, nil
+}
+
+// PairwiseExactDist returns the rotation/mirror-minimised exact Euclidean
+// distance matrix between entries.
+func (db *Database) PairwiseExactDist() (labels []string, d [][]float64, err error) {
+	entries := db.Entries()
+	labels = make([]string, len(entries))
+	d = make([][]float64, len(entries))
+	for i := range entries {
+		labels[i] = entries[i].Label
+		d[i] = make([]float64, len(entries))
+	}
+	for i := range entries {
+		for j := i + 1; j < len(entries); j++ {
+			v, _, _, merr := timeseries.MinRotationMirrorDistWindow(entries[i].Series, entries[j].Series, db.seriesShift())
+			if merr != nil {
+				return nil, nil, merr
+			}
+			d[i][j] = v
+			d[j][i] = v
+		}
+	}
+	return labels, d, nil
+}

@@ -1,0 +1,152 @@
+package sax
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hdc/internal/timeseries"
+)
+
+// motif.go implements SAX-based motif discovery — the core technique of the
+// paper's reference [21] (Xi, Keogh, Wei, Mafra-Neto, "Finding Motifs in
+// Database of Shapes"), of which the sign recogniser is a special case.
+// The drone uses it offline to mine recurring patterns from telemetry
+// feature streams (e.g. recurring approach geometries, repeated human
+// gestures in long observation logs).
+
+// Motif is a recurring pattern: the indices of the windows that share a SAX
+// word, with the word itself and the mean pairwise exact distance of the
+// occurrences (for ranking).
+type Motif struct {
+	Word        Word
+	Occurrences []int   // window start indices, ascending
+	MeanDist    float64 // mean pairwise z-normalised Euclidean distance
+}
+
+// MotifConfig tunes discovery.
+type MotifConfig struct {
+	Window   int // subsequence length (required)
+	Segments int // SAX word length (default 8)
+	Alphabet int // alphabet size (default 4)
+	// MinOccurrences filters motifs seen fewer times (default 2).
+	MinOccurrences int
+	// ExcludeTrivial suppresses overlapping matches closer than Window/2
+	// (trivial matches, per Keogh's definition; default true via
+	// !IncludeTrivial).
+	IncludeTrivial bool
+}
+
+func (c MotifConfig) withDefaults() (MotifConfig, error) {
+	if c.Window < 4 {
+		return c, fmt.Errorf("sax: motif window %d too small", c.Window)
+	}
+	if c.Segments == 0 {
+		c.Segments = 8
+	}
+	if c.Alphabet == 0 {
+		c.Alphabet = 4
+	}
+	if c.MinOccurrences == 0 {
+		c.MinOccurrences = 2
+	}
+	if c.Segments > c.Window {
+		return c, fmt.Errorf("sax: motif segments %d exceed window %d", c.Segments, c.Window)
+	}
+	return c, nil
+}
+
+// FindMotifs slides a window over the series, symbolises every subsequence
+// and groups identical words. Motifs are returned sorted by occurrence
+// count (desc) then mean distance (asc).
+func FindMotifs(s timeseries.Series, cfg MotifConfig) ([]Motif, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(s) < cfg.Window {
+		return nil, errors.New("sax: series shorter than motif window")
+	}
+	enc, err := NewEncoder(cfg.Segments, cfg.Alphabet)
+	if err != nil {
+		return nil, err
+	}
+	buckets := map[string][]int{}
+	for i := 0; i+cfg.Window <= len(s); i++ {
+		w, err := enc.Encode(s[i : i+cfg.Window])
+		if err != nil {
+			return nil, err
+		}
+		buckets[w.Symbols] = append(buckets[w.Symbols], i)
+	}
+	var motifs []Motif
+	for word, idxs := range buckets {
+		occ := idxs
+		if !cfg.IncludeTrivial {
+			occ = dropTrivial(idxs, cfg.Window/2)
+		}
+		if len(occ) < cfg.MinOccurrences {
+			continue
+		}
+		m := Motif{
+			Word:        Word{Symbols: word, Alphabet: cfg.Alphabet},
+			Occurrences: occ,
+			MeanDist:    meanPairDist(s, occ, cfg.Window),
+		}
+		motifs = append(motifs, m)
+	}
+	sort.Slice(motifs, func(i, j int) bool {
+		if len(motifs[i].Occurrences) != len(motifs[j].Occurrences) {
+			return len(motifs[i].Occurrences) > len(motifs[j].Occurrences)
+		}
+		if motifs[i].MeanDist != motifs[j].MeanDist {
+			return motifs[i].MeanDist < motifs[j].MeanDist
+		}
+		return motifs[i].Word.Symbols < motifs[j].Word.Symbols
+	})
+	return motifs, nil
+}
+
+// dropTrivial keeps only occurrences at least minGap apart (greedy from the
+// left) — successive overlapping windows of a slowly varying series share a
+// word without being a meaningful repetition.
+func dropTrivial(idxs []int, minGap int) []int {
+	if len(idxs) == 0 {
+		return nil
+	}
+	out := []int{idxs[0]}
+	last := idxs[0]
+	for _, i := range idxs[1:] {
+		if i-last >= minGap {
+			out = append(out, i)
+			last = i
+		}
+	}
+	return out
+}
+
+// meanPairDist computes the mean pairwise Euclidean distance between the
+// z-normalised occurrences.
+func meanPairDist(s timeseries.Series, occ []int, window int) float64 {
+	if len(occ) < 2 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for i := 0; i < len(occ); i++ {
+		zi := s[occ[i] : occ[i]+window].ZNormalize()
+		for j := i + 1; j < len(occ); j++ {
+			zj := s[occ[j] : occ[j]+window].ZNormalize()
+			d, err := timeseries.EuclideanDist(zi, zj)
+			if err != nil {
+				continue
+			}
+			sum += d
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

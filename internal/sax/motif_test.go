@@ -1,0 +1,140 @@
+package sax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdc/internal/timeseries"
+)
+
+// plantedSeries builds noise with a distinctive pattern planted at the
+// given offsets.
+func plantedSeries(n int, pattern timeseries.Series, offsets []int, noise float64, rng *rand.Rand) timeseries.Series {
+	s := make(timeseries.Series, n)
+	for i := range s {
+		s[i] = rng.NormFloat64() * noise
+	}
+	for _, off := range offsets {
+		for i, v := range pattern {
+			if off+i < n {
+				s[off+i] = v + rng.NormFloat64()*noise*0.2
+			}
+		}
+	}
+	return s
+}
+
+func sawtooth(n int) timeseries.Series {
+	p := make(timeseries.Series, n)
+	for i := range p {
+		p[i] = math.Mod(float64(i), 8) // strong, distinctive ramp pattern
+	}
+	return p
+}
+
+func TestFindMotifsRecoversPlanted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pattern := sawtooth(32)
+	offsets := []int{100, 300, 520}
+	s := plantedSeries(700, pattern, offsets, 0.3, rng)
+
+	motifs, err := FindMotifs(s, MotifConfig{Window: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(motifs) == 0 {
+		t.Fatal("no motifs found")
+	}
+	// The top motif must hit (near) every planted offset.
+	top := motifs[0]
+	if len(top.Occurrences) < len(offsets) {
+		t.Fatalf("top motif has %d occurrences, want ≥%d (%+v)", len(top.Occurrences), len(offsets), top)
+	}
+	for _, want := range offsets {
+		found := false
+		for _, got := range top.Occurrences {
+			if intAbs(got-want) <= 4 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("planted offset %d not recovered (occurrences %v)", want, top.Occurrences)
+		}
+	}
+	// Occurrences ascending and non-trivially separated.
+	for i := 1; i < len(top.Occurrences); i++ {
+		if top.Occurrences[i] <= top.Occurrences[i-1] {
+			t.Fatal("occurrences not ascending")
+		}
+		if top.Occurrences[i]-top.Occurrences[i-1] < 16 {
+			t.Fatal("trivial matches not suppressed")
+		}
+	}
+}
+
+func TestFindMotifsValidation(t *testing.T) {
+	s := make(timeseries.Series, 64)
+	if _, err := FindMotifs(s, MotifConfig{Window: 2}); err == nil {
+		t.Error("tiny window should fail")
+	}
+	if _, err := FindMotifs(s[:8], MotifConfig{Window: 32}); err == nil {
+		t.Error("short series should fail")
+	}
+	if _, err := FindMotifs(s, MotifConfig{Window: 16, Segments: 32}); err == nil {
+		t.Error("segments > window should fail")
+	}
+}
+
+func TestFindMotifsPureNoiseHasWeakMotifs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := make(timeseries.Series, 600)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	motifs, err := FindMotifs(s, MotifConfig{Window: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random collisions happen, but no word should dominate the way a
+	// planted pattern does.
+	for _, m := range motifs {
+		if len(m.Occurrences) > 6 {
+			t.Fatalf("noise produced a %d-occurrence motif: %+v", len(m.Occurrences), m)
+		}
+	}
+}
+
+func TestFindMotifsTrivialToggle(t *testing.T) {
+	// A slow sine: with trivial matches included, far more occurrences
+	// survive.
+	s := make(timeseries.Series, 300)
+	for i := range s {
+		s[i] = math.Sin(float64(i) / 20)
+	}
+	strict, err := FindMotifs(s, MotifConfig{Window: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := FindMotifs(s, MotifConfig{Window: 40, IncludeTrivial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalStrict, totalLoose := 0, 0
+	for _, m := range strict {
+		totalStrict += len(m.Occurrences)
+	}
+	for _, m := range loose {
+		totalLoose += len(m.Occurrences)
+	}
+	if totalLoose <= totalStrict {
+		t.Fatalf("trivial suppression had no effect: %d vs %d", totalLoose, totalStrict)
+	}
+}
+
+func intAbs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,105 @@
+package sax
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"hdc/internal/timeseries"
+)
+
+// persist.go serialises the reference database so a deployment can build
+// the sign dictionary once (on the ground station) and ship it to drones —
+// the "database of strings" of §IV as an artefact.
+
+// databaseFile is the on-disk representation.
+type databaseFile struct {
+	Version   int         `json:"version"`
+	Segments  int         `json:"segments"`
+	Alphabet  int         `json:"alphabet"`
+	SeriesLen int         `json:"series_len"`
+	ShiftFrac float64     `json:"shift_frac,omitempty"`
+	Entries   []entryFile `json:"entries"`
+}
+
+type entryFile struct {
+	Label  string    `json:"label"`
+	Word   string    `json:"word"`
+	Series []float64 `json:"series"`
+}
+
+// currentVersion of the file format.
+const currentVersion = 1
+
+// Save writes the database (encoder parameters + every entry) as JSON.
+func (db *Database) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	f := databaseFile{
+		Version:   currentVersion,
+		Segments:  db.enc.Segments(),
+		Alphabet:  db.enc.AlphabetSize(),
+		SeriesLen: db.n,
+		ShiftFrac: db.shiftFrac,
+	}
+	for _, e := range db.entries {
+		f.Entries = append(f.Entries, entryFile{
+			Label:  e.Label,
+			Word:   e.Word.Symbols,
+			Series: e.Series,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Load reads a database previously written by Save, reconstructing the
+// encoder and verifying every stored word against its series (a corrupted
+// file fails loudly rather than matching wrongly).
+func Load(r io.Reader) (*Database, error) {
+	var f databaseFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("sax: load: %w", err)
+	}
+	if f.Version != currentVersion {
+		return nil, fmt.Errorf("sax: unsupported database version %d", f.Version)
+	}
+	enc, err := NewEncoder(f.Segments, f.Alphabet)
+	if err != nil {
+		return nil, fmt.Errorf("sax: load: %w", err)
+	}
+	db, err := NewDatabase(enc, f.SeriesLen)
+	if err != nil {
+		return nil, fmt.Errorf("sax: load: %w", err)
+	}
+	if f.ShiftFrac > 0 {
+		db.SetShiftWindowFrac(f.ShiftFrac)
+	}
+	for i, e := range f.Entries {
+		if e.Label == "" {
+			return nil, fmt.Errorf("sax: load: entry %d has empty label", i)
+		}
+		if len(e.Series) != f.SeriesLen {
+			return nil, fmt.Errorf("sax: load: entry %d series length %d != %d",
+				i, len(e.Series), f.SeriesLen)
+		}
+		s := timeseries.Series(e.Series)
+		w, err := enc.Encode(s)
+		if err != nil {
+			return nil, fmt.Errorf("sax: load: entry %d: %w", i, err)
+		}
+		if w.Symbols != e.Word {
+			return nil, fmt.Errorf("sax: load: entry %d word %q does not match its series (recomputed %q) — corrupted file",
+				i, e.Word, w.Symbols)
+		}
+		db.mu.Lock()
+		db.entries = append(db.entries, Entry{Label: e.Label, Word: w, Series: s.Clone()})
+		db.mu.Unlock()
+	}
+	if db.Len() == 0 {
+		return nil, errors.New("sax: load: database has no entries")
+	}
+	return db, nil
+}

@@ -1,0 +1,76 @@
+package sax
+
+import (
+	"errors"
+
+	"hdc/internal/timeseries"
+)
+
+// StreamEncoder applies SAX over a sliding window of a live sample stream
+// with numerosity reduction: consecutive identical words are emitted once.
+// The recogniser uses it to convert a stream of per-frame scalar features
+// (e.g. silhouette area) into a compact symbolic trace for logging and motif
+// diagnostics.
+type StreamEncoder struct {
+	enc     *Encoder
+	window  int
+	step    int
+	buf     timeseries.Series
+	last    Word
+	hasLast bool
+	emitted int
+	seen    int
+}
+
+// NewStreamEncoder creates a sliding-window encoder. window is the number of
+// samples per word; step is the hop between window starts.
+func NewStreamEncoder(enc *Encoder, window, step int) (*StreamEncoder, error) {
+	if enc == nil {
+		return nil, errors.New("sax: nil encoder")
+	}
+	if window < enc.Segments() {
+		return nil, errors.New("sax: window smaller than word length")
+	}
+	if step < 1 {
+		return nil, errors.New("sax: step < 1")
+	}
+	return &StreamEncoder{enc: enc, window: window, step: step}, nil
+}
+
+// Push appends samples and returns the words newly emitted by numerosity
+// reduction (consecutive duplicate words suppressed).
+func (se *StreamEncoder) Push(samples ...float64) ([]Word, error) {
+	se.buf = append(se.buf, samples...)
+	var out []Word
+	for len(se.buf) >= se.window {
+		w, err := se.enc.Encode(se.buf[:se.window])
+		if err != nil {
+			return out, err
+		}
+		se.seen++
+		if !se.hasLast || !w.Equal(se.last) {
+			out = append(out, w)
+			se.last = w
+			se.hasLast = true
+			se.emitted++
+		}
+		if se.step >= len(se.buf) {
+			se.buf = se.buf[:0]
+			break
+		}
+		se.buf = se.buf[se.step:]
+	}
+	return out, nil
+}
+
+// Stats returns how many windows were symbolised and how many words survived
+// numerosity reduction.
+func (se *StreamEncoder) Stats() (windows, emitted int) { return se.seen, se.emitted }
+
+// Reset discards buffered samples and numerosity state.
+func (se *StreamEncoder) Reset() {
+	se.buf = se.buf[:0]
+	se.hasLast = false
+	se.seen = 0
+	se.emitted = 0
+}

@@ -1,0 +1,122 @@
+package sax
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"hdc/internal/timeseries"
+)
+
+// LabeledSeries is a training/evaluation sample for parameter tuning.
+type LabeledSeries struct {
+	Label  string
+	Series timeseries.Series
+}
+
+// TuneResult is the outcome of evaluating one (segments, alphabet) cell of
+// the tuning grid.
+type TuneResult struct {
+	Segments int
+	Alphabet int
+	Accuracy float64 // fraction of eval samples whose nearest reference shares the label
+	Margin   float64 // mean (2nd-best − best) exact distance over correct matches
+}
+
+// TuneGrid evaluates SAX parameters over a grid, classifying each eval
+// sample against the references by rotation/mirror-invariant nearest
+// neighbour. It reproduces the parameter-adjustment study the paper cites
+// ([22], "tuning of the piecewise aggregation and alphabet size"). Results
+// are sorted by accuracy (desc) then margin (desc).
+func TuneGrid(refs, eval []LabeledSeries, segments, alphabets []int, seriesLen int) ([]TuneResult, error) {
+	if len(refs) == 0 || len(eval) == 0 {
+		return nil, errors.New("sax: tuning needs non-empty reference and eval sets")
+	}
+	var out []TuneResult
+	for _, w := range segments {
+		for _, a := range alphabets {
+			enc, err := NewEncoder(w, a)
+			if err != nil {
+				return nil, fmt.Errorf("sax: grid cell (%d,%d): %w", w, a, err)
+			}
+			db, err := NewDatabase(enc, seriesLen)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range refs {
+				if err := db.Add(r.Label, r.Series); err != nil {
+					return nil, err
+				}
+			}
+			res, err := evaluate(db, eval)
+			if err != nil {
+				return nil, err
+			}
+			res.Segments = w
+			res.Alphabet = a
+			out = append(out, res)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Accuracy != out[j].Accuracy {
+			return out[i].Accuracy > out[j].Accuracy
+		}
+		return out[i].Margin > out[j].Margin
+	})
+	return out, nil
+}
+
+func evaluate(db *Database, eval []LabeledSeries) (TuneResult, error) {
+	var correct int
+	var marginSum float64
+	var marginN int
+	for _, s := range eval {
+		m, err := db.Lookup(s.Series, math.Inf(1))
+		if err != nil {
+			if errors.Is(err, ErrNoMatch) {
+				continue
+			}
+			return TuneResult{}, err
+		}
+		if m.Label == s.Label {
+			correct++
+			if mg, ok := secondBestGap(db, s, m); ok {
+				marginSum += mg
+				marginN++
+			}
+		}
+	}
+	r := TuneResult{Accuracy: float64(correct) / float64(len(eval))}
+	if marginN > 0 {
+		r.Margin = marginSum / float64(marginN)
+	}
+	return r, nil
+}
+
+// secondBestGap computes the gap between the best match distance and the
+// best distance to any entry with a different label.
+func secondBestGap(db *Database, s LabeledSeries, best Match) (float64, bool) {
+	rs, err := s.Series.ResampleLinear(db.SeriesLen())
+	if err != nil {
+		return 0, false
+	}
+	z := rs.ZNormalize()
+	other := math.Inf(1)
+	for _, e := range db.Entries() {
+		if e.Label == best.Label {
+			continue
+		}
+		d, _, _, derr := timeseries.MinRotationMirrorDist(z, e.Series)
+		if derr != nil {
+			continue
+		}
+		if d < other {
+			other = d
+		}
+	}
+	if math.IsInf(other, 1) {
+		return 0, false
+	}
+	return other - best.Dist, true
+}

@@ -1,0 +1,205 @@
+package timeseries
+
+import (
+	"math"
+)
+
+// EuclideanDist returns the Euclidean distance between equal-length series.
+// It returns +Inf and no error for mismatched lengths is NOT silently
+// accepted — callers get ErrLengthMismatch.
+func EuclideanDist(a, b Series) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrLengthMismatch
+	}
+	var ss float64
+	for i := range a {
+		d := a[i] - b[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss), nil
+}
+
+// MinRotationDist returns the minimum Euclidean distance between a and every
+// circular rotation of b, together with the minimising shift (the number of
+// positions b was rotated left). This is the rotation-invariant shape
+// distance of Xi et al.: rotating a closed contour's starting point
+// circularly shifts its centroid-distance signature.
+//
+// Complexity is O(n²); for the signature lengths used here (n ≤ 256) this is
+// comfortably inside the real-time budget, and the SAX layer prunes most
+// candidates before this runs.
+func MinRotationDist(a, b Series) (best float64, shift int, err error) {
+	return MinRotationDistWindow(a, b, -1)
+}
+
+// MinRotationDistWindow is MinRotationDist with the shift search restricted
+// to ±maxShift positions (maxShift < 0 searches all rotations). A bounded
+// window keeps tolerance to modest in-plane rotation — the drone trimming
+// its attitude — without allowing a gross rotation to alias one sign's lobe
+// pattern onto another's, which is what full rotation invariance does to
+// Yes vs No.
+func MinRotationDistWindow(a, b Series, maxShift int) (best float64, shift int, err error) {
+	if len(a) != len(b) {
+		return 0, 0, ErrLengthMismatch
+	}
+	if len(a) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	n := len(a)
+	if maxShift < 0 || maxShift >= n/2 {
+		maxShift = n / 2 // symmetric full coverage
+	}
+	best = math.Inf(1)
+	tryShift := func(k int) {
+		kk := ((k % n) + n) % n
+		var ss float64
+		for i := 0; i < n; i++ {
+			j := i + kk
+			if j >= n {
+				j -= n
+			}
+			d := a[i] - b[j]
+			ss += d * d
+			if ss >= best { // early abandon
+				return
+			}
+		}
+		if ss < best {
+			best = ss
+			shift = kk
+		}
+	}
+	for k := 0; k <= maxShift; k++ {
+		tryShift(k)
+		if k != 0 {
+			tryShift(-k)
+		}
+	}
+	return math.Sqrt(best), shift, nil
+}
+
+// MinRotationMirrorDist extends MinRotationDist to also consider the
+// mirrored (reversed) candidate, returning the smaller of the two and
+// whether the mirror produced it.
+func MinRotationMirrorDist(a, b Series) (best float64, shift int, mirrored bool, err error) {
+	return MinRotationMirrorDistWindow(a, b, -1)
+}
+
+// MinRotationMirrorDistWindow is MinRotationMirrorDist with a bounded shift
+// window (see MinRotationDistWindow). The mirrored candidate is rotated by
+// one before the window search so that a pure reversal (which maps index i
+// to n-1-i, a reflection about the start point) stays inside a small
+// window.
+func MinRotationMirrorDistWindow(a, b Series, maxShift int) (best float64, shift int, mirrored bool, err error) {
+	d1, s1, err := MinRotationDistWindow(a, b, maxShift)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	// Reverse maps b[0] to position n-1; rotating left by n-1 (= -1) brings
+	// the original start back to index 0 so the same window applies.
+	d2, s2, err := MinRotationDistWindow(a, b.Reverse().Rotate(-1), maxShift)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if d2 < d1 {
+		return d2, s2, true, nil
+	}
+	return d1, s1, false, nil
+}
+
+// DTWDist computes the classic dynamic-time-warping distance with an
+// optional Sakoe-Chiba band (window < 0 disables the band). It is provided
+// as a reference comparator for the evaluation harness; SAX+MINDIST is the
+// paper's fast path.
+func DTWDist(a, b Series, window int) (float64, error) {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 0, ErrEmpty
+	}
+	if window >= 0 {
+		diff := n - m
+		if diff < 0 {
+			diff = -diff
+		}
+		if window < diff {
+			window = diff
+		}
+	}
+	inf := math.Inf(1)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		lo, hi := 1, m
+		if window >= 0 {
+			lo = maxInt(1, i-window)
+			hi = minInt(m, i+window)
+		}
+		for j := lo; j <= hi; j++ {
+			d := a[i-1] - b[j-1]
+			cost := d * d
+			best := prev[j]
+			if prev[j-1] < best {
+				best = prev[j-1]
+			}
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			cur[j] = cost + best
+		}
+		prev, cur = cur, prev
+	}
+	return math.Sqrt(prev[m]), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// CrossCorrelationPeak returns the circular shift of b maximising the
+// normalised cross-correlation with a, and that correlation value in
+// [-1, 1]. It is a cheaper alignment heuristic than MinRotationDist used by
+// diagnostics.
+func CrossCorrelationPeak(a, b Series) (shift int, corr float64, err error) {
+	if len(a) != len(b) {
+		return 0, 0, ErrLengthMismatch
+	}
+	if len(a) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	an := a.ZNormalize()
+	bn := b.ZNormalize()
+	n := len(a)
+	best := math.Inf(-1)
+	for k := 0; k < n; k++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			j := i + k
+			if j >= n {
+				j -= n
+			}
+			sum += an[i] * bn[j]
+		}
+		if sum > best {
+			best = sum
+			shift = k
+		}
+	}
+	return shift, best / float64(n), nil
+}

@@ -1,0 +1,231 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSeries(rng *rand.Rand, n int) Series {
+	s := make(Series, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+func TestEuclideanDist(t *testing.T) {
+	d, err := EuclideanDist(Series{0, 0}, Series{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(d, 5, 1e-12) {
+		t.Fatalf("dist = %v, want 5", d)
+	}
+	if _, err := EuclideanDist(Series{1}, Series{1, 2}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestEuclideanMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		a, b, c := randSeries(rng, 16), randSeries(rng, 16), randSeries(rng, 16)
+		dab, _ := EuclideanDist(a, b)
+		dba, _ := EuclideanDist(b, a)
+		if !almostEq(dab, dba, 1e-9) {
+			t.Fatal("not symmetric")
+		}
+		dac, _ := EuclideanDist(a, c)
+		dcb, _ := EuclideanDist(c, b)
+		if dab > dac+dcb+1e-9 {
+			t.Fatal("triangle inequality violated")
+		}
+		daa, _ := EuclideanDist(a, a)
+		if daa != 0 {
+			t.Fatal("identity not zero")
+		}
+	}
+}
+
+func TestMinRotationDistFindsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := randSeries(rng, 32)
+	for _, k := range []int{0, 1, 5, 16, 31} {
+		b := a.Rotate(k)
+		d, shift, err := MinRotationDist(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(d, 0, 1e-9) {
+			t.Fatalf("rotation by %d: dist %v, want 0", k, d)
+		}
+		// a[i] must equal b[(i+shift) mod n] = a[(i+shift+k) mod n],
+		// so shift ≡ -k (mod n).
+		n := len(a)
+		if (shift+k)%n != 0 {
+			t.Fatalf("rotation by %d: recovered shift %d", k, shift)
+		}
+	}
+}
+
+func TestMinRotationDistUpperBoundedByEuclidean(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randSeries(rng, 24), randSeries(rng, 24)
+		dmin, _, err := MinRotationDist(a, b)
+		if err != nil {
+			return false
+		}
+		de, _ := EuclideanDist(a, b)
+		return dmin <= de+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinRotationDistSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randSeries(rng, 20), randSeries(rng, 20)
+		d1, _, _ := MinRotationDist(a, b)
+		d2, _, _ := MinRotationDist(b, a)
+		return almostEq(d1, d2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinRotationDistErrors(t *testing.T) {
+	if _, _, err := MinRotationDist(Series{1}, Series{1, 2}); err == nil {
+		t.Fatal("mismatch should fail")
+	}
+	if _, _, err := MinRotationDist(Series{}, Series{}); err == nil {
+		t.Fatal("empty should fail")
+	}
+}
+
+func TestMinRotationMirrorDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randSeries(rng, 16)
+	// Mirror of a rotated copy should be found via the mirror path with 0
+	// distance.
+	b := a.Reverse().Rotate(5)
+	d, _, mirrored, err := MinRotationMirrorDist(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(d, 0, 1e-9) {
+		t.Fatalf("mirror dist = %v, want 0", d)
+	}
+	if !mirrored {
+		// It is possible (though vanishingly unlikely for random data) that a
+		// plain rotation also achieves 0; treat as failure to catch
+		// regressions.
+		t.Fatal("expected mirrored match")
+	}
+}
+
+func TestDTWDistIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randSeries(rng, 30)
+	d, err := DTWDist(a, a, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(d, 0, 1e-9) {
+		t.Fatalf("DTW(a,a) = %v, want 0", d)
+	}
+}
+
+func TestDTWLowerThanEuclidean(t *testing.T) {
+	// DTW with unlimited window is always ≤ Euclidean distance for
+	// equal-length series.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randSeries(rng, 20), randSeries(rng, 20)
+		dtw, err := DTWDist(a, b, -1)
+		if err != nil {
+			return false
+		}
+		de, _ := EuclideanDist(a, b)
+		return dtw <= de+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDTWWarpsShifts(t *testing.T) {
+	// A slightly time-shifted bump should be nearly free under DTW but
+	// costly under Euclidean distance.
+	n := 50
+	a, b := make(Series, n), make(Series, n)
+	for i := 0; i < n; i++ {
+		a[i] = math.Exp(-sq(float64(i-20)) / 20)
+		b[i] = math.Exp(-sq(float64(i-25)) / 20)
+	}
+	dtw, err := DTWDist(a, b, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	de, _ := EuclideanDist(a, b)
+	if dtw > de/4 {
+		t.Fatalf("DTW %v should be much smaller than Euclidean %v", dtw, de)
+	}
+}
+
+func TestDTWDifferentLengths(t *testing.T) {
+	a := Series{1, 2, 3, 2, 1}
+	b := Series{1, 2, 2.5, 3, 2.5, 2, 1}
+	d, err := DTWDist(a, b, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1.0 {
+		t.Fatalf("DTW over stretched copy too large: %v", d)
+	}
+	if _, err := DTWDist(a, Series{}, -1); err == nil {
+		t.Fatal("empty should fail")
+	}
+}
+
+func TestDTWBandWidening(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, b := randSeries(rng, 40), randSeries(rng, 40)
+	d0, _ := DTWDist(a, b, 0) // band 0 == Euclidean on equal lengths
+	de, _ := EuclideanDist(a, b)
+	if !almostEq(d0, de, 1e-9) {
+		t.Fatalf("band-0 DTW %v != Euclidean %v", d0, de)
+	}
+	dPrev := d0
+	for _, w := range []int{1, 2, 5, 40} {
+		dw, _ := DTWDist(a, b, w)
+		if dw > dPrev+1e-9 {
+			t.Fatalf("DTW should not increase with window: w=%d %v > %v", w, dw, dPrev)
+		}
+		dPrev = dw
+	}
+}
+
+func TestCrossCorrelationPeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := randSeries(rng, 32)
+	b := a.Rotate(7)
+	shift, corr, err := CrossCorrelationPeak(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corr < 0.999 {
+		t.Fatalf("corr = %v, want ≈1", corr)
+	}
+	if (shift+7)%len(a) != 0 && shift != len(a)-7 {
+		// shift such that b rotated aligns: a[i] == b[i+shift]
+		t.Fatalf("peak shift = %d", shift)
+	}
+}
+
+func sq(x float64) float64 { return x * x }

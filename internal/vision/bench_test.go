@@ -1,0 +1,58 @@
+package vision
+
+import (
+	"testing"
+
+	"hdc/internal/raster"
+)
+
+func benchFrame() *raster.Gray {
+	g := raster.MustGray(256, 256)
+	g.Fill(210)
+	// A figure-like blob: torso + arms.
+	g.FillPolygon([]float64{120, 136, 136, 120}, []float64{80, 80, 200, 200}, 30)
+	g.StrokeLine(128, 100, 80, 60, 5, 30)
+	g.StrokeLine(128, 100, 176, 140, 5, 30)
+	g.FillDisc(128, 70, 12, 30)
+	g.BoxBlur(1, 2)
+	return g
+}
+
+func BenchmarkOtsuBinarize(b *testing.B) {
+	g := benchFrame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		OtsuBinarize(g)
+	}
+}
+
+func BenchmarkMorphOpenClose(b *testing.B) {
+	mask := OtsuBinarize(benchFrame())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := Open(mask, 1)
+		Close(m, 1)
+	}
+}
+
+func BenchmarkLabelComponents(b *testing.B) {
+	mask := OtsuBinarize(benchFrame())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LabelComponents(mask)
+	}
+}
+
+func BenchmarkExtractSignatureNormalized(b *testing.B) {
+	mask := OtsuBinarize(benchFrame())
+	mask = Open(mask, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := ExtractSignatureNormalized(mask, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

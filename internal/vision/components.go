@@ -1,0 +1,156 @@
+package vision
+
+import "sort"
+
+// Component is one 8-connected foreground region.
+type Component struct {
+	Label    int
+	Area     int
+	MinX     int
+	MinY     int
+	MaxX     int
+	MaxY     int
+	CenX     float64
+	CenY     float64
+	FirstPix [2]int // topmost-leftmost pixel; contour tracing starts here
+}
+
+// LabelComponents performs 8-connected component labelling (two-pass
+// union-find) and returns the label image plus per-component statistics
+// sorted by area descending.
+func LabelComponents(b *Binary) (labels []int32, comps []Component) {
+	labels = make([]int32, len(b.Pix))
+	parent := []int32{0} // parent[0] unused; labels start at 1
+
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, c int32) {
+		ra, rc := find(a), find(c)
+		if ra != rc {
+			if ra < rc {
+				parent[rc] = ra
+			} else {
+				parent[ra] = rc
+			}
+		}
+	}
+
+	next := int32(1)
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			if b.Pix[y*b.W+x] == 0 {
+				continue
+			}
+			var neighbors [4]int32
+			n := 0
+			// Scan previously visited 8-neighbours: W, NW, N, NE.
+			if x > 0 && labels[y*b.W+x-1] != 0 {
+				neighbors[n] = labels[y*b.W+x-1]
+				n++
+			}
+			if y > 0 {
+				if x > 0 && labels[(y-1)*b.W+x-1] != 0 {
+					neighbors[n] = labels[(y-1)*b.W+x-1]
+					n++
+				}
+				if labels[(y-1)*b.W+x] != 0 {
+					neighbors[n] = labels[(y-1)*b.W+x]
+					n++
+				}
+				if x+1 < b.W && labels[(y-1)*b.W+x+1] != 0 {
+					neighbors[n] = labels[(y-1)*b.W+x+1]
+					n++
+				}
+			}
+			if n == 0 {
+				labels[y*b.W+x] = next
+				parent = append(parent, next)
+				next++
+				continue
+			}
+			minL := neighbors[0]
+			for i := 1; i < n; i++ {
+				if neighbors[i] < minL {
+					minL = neighbors[i]
+				}
+			}
+			labels[y*b.W+x] = minL
+			for i := 0; i < n; i++ {
+				union(minL, neighbors[i])
+			}
+		}
+	}
+
+	// Second pass: resolve labels, gather stats.
+	statsByRoot := map[int32]*Component{}
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			l := labels[y*b.W+x]
+			if l == 0 {
+				continue
+			}
+			root := find(l)
+			labels[y*b.W+x] = root
+			c := statsByRoot[root]
+			if c == nil {
+				c = &Component{
+					Label: int(root),
+					MinX:  x, MinY: y, MaxX: x, MaxY: y,
+					FirstPix: [2]int{x, y},
+				}
+				statsByRoot[root] = c
+			}
+			c.Area++
+			c.CenX += float64(x)
+			c.CenY += float64(y)
+			if x < c.MinX {
+				c.MinX = x
+			}
+			if x > c.MaxX {
+				c.MaxX = x
+			}
+			if y < c.MinY {
+				c.MinY = y
+			}
+			if y > c.MaxY {
+				c.MaxY = y
+			}
+		}
+	}
+	comps = make([]Component, 0, len(statsByRoot))
+	for _, c := range statsByRoot {
+		c.CenX /= float64(c.Area)
+		c.CenY /= float64(c.Area)
+		comps = append(comps, *c)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if comps[i].Area != comps[j].Area {
+			return comps[i].Area > comps[j].Area
+		}
+		return comps[i].Label < comps[j].Label
+	})
+	return labels, comps
+}
+
+// LargestComponent extracts the largest 8-connected foreground region as its
+// own mask. It returns ErrEmptyImage when there is no foreground.
+func LargestComponent(b *Binary) (*Binary, Component, error) {
+	labels, comps := LabelComponents(b)
+	if len(comps) == 0 {
+		return nil, Component{}, ErrEmptyImage
+	}
+	best := comps[0]
+	out := NewBinary(b.W, b.H)
+	target := int32(best.Label)
+	for i, l := range labels {
+		if l == target {
+			out.Pix[i] = 1
+		}
+	}
+	return out, best, nil
+}

@@ -1,0 +1,155 @@
+package vision
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdc/internal/timeseries"
+)
+
+// invariance_test.go property-tests the geometric invariances the
+// recogniser relies on: the centroid-distance signature must be unchanged
+// by translation, normalised away from scale (after z-norm), and turned
+// into a circular shift by rotation.
+
+// randomBlobMask rasterises a random star-shaped polygon at the given
+// placement.
+func randomBlobMask(rng *rand.Rand, w, h int, cx, cy, scale, rot float64, radii []float64) *Binary {
+	n := len(radii)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ang := 2*math.Pi*float64(i)/float64(n) + rot
+		r := radii[i] * scale
+		xs[i] = cx + r*math.Cos(ang)
+		ys[i] = cy + r*math.Sin(ang)
+	}
+	b := NewBinary(w, h)
+	// Rasterise via scanline on the binary mask directly.
+	g := maskFromPolygon(w, h, xs, ys)
+	copy(b.Pix, g.Pix)
+	return b
+}
+
+// randomRadii draws a smooth star shape with a few broad lobes — the regime
+// of the marshalling-sign silhouettes (head/arm/leg lobes). Many thin
+// spikes would make the signature's features narrower than the matcher's
+// one-sample shift granularity and measure pixelation instead of the
+// geometric property under test.
+func randomRadii(rng *rand.Rand) []float64 {
+	const n = 48
+	radii := make([]float64, n)
+	// 3 random harmonics on a base radius.
+	type harm struct {
+		k     int
+		amp   float64
+		phase float64
+	}
+	hs := []harm{
+		{2, 4 + rng.Float64()*5, rng.Float64() * 2 * math.Pi},
+		{3, 3 + rng.Float64()*4, rng.Float64() * 2 * math.Pi},
+		{5, 2 + rng.Float64()*3, rng.Float64() * 2 * math.Pi},
+	}
+	for i := range radii {
+		ang := 2 * math.Pi * float64(i) / n
+		r := 32.0
+		for _, h := range hs {
+			r += h.amp * math.Cos(float64(h.k)*ang+h.phase)
+		}
+		radii[i] = r
+	}
+	return radii
+}
+
+func signatureOfMask(t testing.TB, m *Binary) timeseries.Series {
+	t.Helper()
+	sig, _, _, err := ExtractSignatureNorm(m, 128, NormNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sig.ZNormalize()
+}
+
+// runInvarianceTrials measures the shift-minimised distance between a base
+// shape and its transform over many random shapes, failing when more than
+// allowedOutliers exceed tol — pixel quantisation makes the invariances
+// statistical, not exact, so the tests assert the distribution.
+func runInvarianceTrials(t *testing.T, tol float64, allowedOutliers int,
+	transform func(rng *rand.Rand, radii []float64) (*Binary, *Binary)) {
+	t.Helper()
+	const trials = 40
+	outliers := 0
+	worst := 0.0
+	for seed := int64(0); seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		radii := randomRadii(rng)
+		ma, mb := transform(rng, radii)
+		a := signatureOfMask(t, ma)
+		b := signatureOfMask(t, mb)
+		d, _, err := timeseries.MinRotationDist(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > tol {
+			outliers++
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	if outliers > allowedOutliers {
+		t.Fatalf("%d/%d trials exceeded %v (worst %.2f)", outliers, trials, tol, worst)
+	}
+}
+
+func TestSignatureTranslationInvariance(t *testing.T) {
+	runInvarianceTrials(t, 1.2, 2, func(rng *rand.Rand, radii []float64) (*Binary, *Binary) {
+		return randomBlobMask(rng, 200, 200, 80, 90, 1, 0, radii),
+			randomBlobMask(rng, 200, 200, 120, 110, 1, 0, radii)
+	})
+}
+
+func TestSignatureScaleInvarianceAfterZNorm(t *testing.T) {
+	runInvarianceTrials(t, 1.5, 2, func(rng *rand.Rand, radii []float64) (*Binary, *Binary) {
+		return randomBlobMask(rng, 240, 240, 120, 120, 1, 0, radii),
+			randomBlobMask(rng, 240, 240, 120, 120, 1.6, 0, radii)
+	})
+}
+
+func TestSignatureRotationBecomesShift(t *testing.T) {
+	// Rotation is absorbed as a circular shift; sub-sample misalignment
+	// leaves a larger residue than translation/scale, hence the wider
+	// tolerance.
+	runInvarianceTrials(t, 2.6, 4, func(rng *rand.Rand, radii []float64) (*Binary, *Binary) {
+		rot := rng.Float64() * 2 * math.Pi
+		return randomBlobMask(rng, 240, 240, 120, 120, 1, 0, radii),
+			randomBlobMask(rng, 240, 240, 120, 120, 1, rot, radii)
+	})
+}
+
+func TestSignatureMirrorBecomesReversal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	radii := randomRadii(rng)
+	a := signatureOfMask(t, randomBlobMask(rng, 240, 240, 120, 120, 1, 0, radii))
+	// Mirror the radii sequence ≈ mirrored shape.
+	mirror := make([]float64, len(radii))
+	for i := range radii {
+		mirror[i] = radii[(len(radii)-i)%len(radii)]
+	}
+	b := signatureOfMask(t, randomBlobMask(rng, 240, 240, 120, 120, 1, 0, mirror))
+	dPlain, _, err := timeseries.MinRotationDist(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dMirror, _, _, err := timeseries.MinRotationMirrorDist(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dMirror > dPlain+1e-9 {
+		t.Fatalf("mirror matching should not be worse: %v vs %v", dMirror, dPlain)
+	}
+	if dMirror > 2.0 {
+		t.Fatalf("mirrored shape distance %v too large", dMirror)
+	}
+}

@@ -1,0 +1,185 @@
+package vision
+
+import (
+	"errors"
+	"math"
+)
+
+// moments.go implements image moments and the seven Hu invariant moments —
+// the classical rotation/scale/translation-invariant silhouette descriptor.
+// The repository uses them as the baseline comparator for the SAX
+// recogniser (experiment E10c): the paper argues for SAX on cost grounds
+// against heavier methods, and Hu moments are the standard cheap
+// alternative a practitioner would reach for first.
+
+// Moments holds raw, central and normalised central moments of a binary
+// region up to third order.
+type Moments struct {
+	M00              float64 // area
+	Cx, Cy           float64 // centroid
+	Mu20, Mu02, Mu11 float64 // second-order central
+	Mu30, Mu03       float64 // third-order central
+	Mu21, Mu12       float64
+	Nu20, Nu02, Nu11 float64 // normalised central
+	Nu30, Nu03       float64
+	Nu21, Nu12       float64
+}
+
+// ComputeMoments accumulates the moments of the mask's foreground.
+func ComputeMoments(b *Binary) (Moments, error) {
+	var m Moments
+	var m10, m01 float64
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			if b.Pix[y*b.W+x] == 0 {
+				continue
+			}
+			m.M00++
+			m10 += float64(x)
+			m01 += float64(y)
+		}
+	}
+	if m.M00 == 0 {
+		return Moments{}, ErrEmptyImage
+	}
+	m.Cx = m10 / m.M00
+	m.Cy = m01 / m.M00
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			if b.Pix[y*b.W+x] == 0 {
+				continue
+			}
+			dx := float64(x) - m.Cx
+			dy := float64(y) - m.Cy
+			m.Mu20 += dx * dx
+			m.Mu02 += dy * dy
+			m.Mu11 += dx * dy
+			m.Mu30 += dx * dx * dx
+			m.Mu03 += dy * dy * dy
+			m.Mu21 += dx * dx * dy
+			m.Mu12 += dx * dy * dy
+		}
+	}
+	// Normalised central moments: nu_pq = mu_pq / m00^(1+(p+q)/2).
+	n2 := math.Pow(m.M00, 2)
+	n25 := math.Pow(m.M00, 2.5)
+	m.Nu20 = m.Mu20 / n2
+	m.Nu02 = m.Mu02 / n2
+	m.Nu11 = m.Mu11 / n2
+	m.Nu30 = m.Mu30 / n25
+	m.Nu03 = m.Mu03 / n25
+	m.Nu21 = m.Mu21 / n25
+	m.Nu12 = m.Mu12 / n25
+	return m, nil
+}
+
+// HuMoments returns the seven Hu invariants of the mask's foreground:
+// invariant to translation and scale by construction, and to rotation by
+// the Hu combinations. h[6] flips sign under mirror reflection, which the
+// matcher exploits for mirror tolerance.
+func HuMoments(b *Binary) ([7]float64, error) {
+	m, err := ComputeMoments(b)
+	if err != nil {
+		return [7]float64{}, err
+	}
+	n20, n02, n11 := m.Nu20, m.Nu02, m.Nu11
+	n30, n03, n21, n12 := m.Nu30, m.Nu03, m.Nu21, m.Nu12
+	var h [7]float64
+	h[0] = n20 + n02
+	h[1] = (n20-n02)*(n20-n02) + 4*n11*n11
+	h[2] = (n30-3*n12)*(n30-3*n12) + (3*n21-n03)*(3*n21-n03)
+	h[3] = (n30+n12)*(n30+n12) + (n21+n03)*(n21+n03)
+	h[4] = (n30-3*n12)*(n30+n12)*((n30+n12)*(n30+n12)-3*(n21+n03)*(n21+n03)) +
+		(3*n21-n03)*(n21+n03)*(3*(n30+n12)*(n30+n12)-(n21+n03)*(n21+n03))
+	h[5] = (n20-n02)*((n30+n12)*(n30+n12)-(n21+n03)*(n21+n03)) +
+		4*n11*(n30+n12)*(n21+n03)
+	h[6] = (3*n21-n03)*(n30+n12)*((n30+n12)*(n30+n12)-3*(n21+n03)*(n21+n03)) -
+		(n30-3*n12)*(n21+n03)*(3*(n30+n12)*(n30+n12)-(n21+n03)*(n21+n03))
+	return h, nil
+}
+
+// HuDistance compares two Hu vectors in log space (the standard metric:
+// the invariants span many orders of magnitude), tolerating a mirror by
+// taking the smaller of the direct and sign-flipped h7 comparison.
+func HuDistance(a, b [7]float64) float64 {
+	direct := huLogDist(a, b)
+	b[6] = -b[6]
+	mirrored := huLogDist(a, b)
+	return math.Min(direct, mirrored)
+}
+
+func huLogDist(a, b [7]float64) float64 {
+	var sum float64
+	for i := 0; i < 7; i++ {
+		la := logSigned(a[i])
+		lb := logSigned(b[i])
+		d := la - lb
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// logSigned maps v to sign(v)·log10(|v|) with a floor for near-zero values.
+func logSigned(v float64) float64 {
+	const floor = 1e-30
+	av := math.Abs(v)
+	if av < floor {
+		return 0
+	}
+	l := math.Log10(av)
+	if v < 0 {
+		return l
+	}
+	return -l // OpenCV convention: -sign(h)·log10|h| — inverted so larger
+	// moments give smaller magnitudes; sign kept via the branch above.
+}
+
+// ErrNoHuMatch is returned by HuClassifier when no reference is close
+// enough.
+var ErrNoHuMatch = errors.New("vision: no Hu-moment match within threshold")
+
+// HuRef is one labelled Hu reference.
+type HuRef struct {
+	Label string
+	H     [7]float64
+}
+
+// HuClassifier is a nearest-neighbour classifier over Hu invariants — the
+// baseline against which the SAX pipeline is evaluated.
+type HuClassifier struct {
+	Refs      []HuRef
+	Threshold float64 // acceptance distance (log-space); ≤0 disables
+}
+
+// Add registers a labelled mask.
+func (c *HuClassifier) Add(label string, mask *Binary) error {
+	h, err := HuMoments(mask)
+	if err != nil {
+		return err
+	}
+	c.Refs = append(c.Refs, HuRef{Label: label, H: h})
+	return nil
+}
+
+// Classify returns the nearest reference label and distance.
+func (c *HuClassifier) Classify(mask *Binary) (string, float64, error) {
+	if len(c.Refs) == 0 {
+		return "", 0, ErrNoHuMatch
+	}
+	h, err := HuMoments(mask)
+	if err != nil {
+		return "", 0, err
+	}
+	bestLabel := ""
+	best := math.Inf(1)
+	for _, r := range c.Refs {
+		if d := HuDistance(h, r.H); d < best {
+			best = d
+			bestLabel = r.Label
+		}
+	}
+	if c.Threshold > 0 && best > c.Threshold {
+		return bestLabel, best, ErrNoHuMatch
+	}
+	return bestLabel, best, nil
+}

@@ -1,0 +1,112 @@
+package vision
+
+// morphology.go implements binary erosion/dilation with a square structuring
+// element plus the derived open/close operators used to clean up thresholded
+// silhouettes before contour tracing.
+
+// Dilate returns b dilated by a (2r+1)×(2r+1) square structuring element.
+func Dilate(b *Binary, r int) *Binary {
+	if r <= 0 {
+		return b.Clone()
+	}
+	// Two-pass separable dilation: horizontal then vertical runs.
+	tmp := NewBinary(b.W, b.H)
+	for y := 0; y < b.H; y++ {
+		row := y * b.W
+		for x := 0; x < b.W; x++ {
+			if b.Pix[row+x] == 0 {
+				continue
+			}
+			lo := x - r
+			if lo < 0 {
+				lo = 0
+			}
+			hi := x + r
+			if hi >= b.W {
+				hi = b.W - 1
+			}
+			for i := lo; i <= hi; i++ {
+				tmp.Pix[row+i] = 1
+			}
+		}
+	}
+	out := NewBinary(b.W, b.H)
+	for x := 0; x < b.W; x++ {
+		for y := 0; y < b.H; y++ {
+			if tmp.Pix[y*b.W+x] == 0 {
+				continue
+			}
+			lo := y - r
+			if lo < 0 {
+				lo = 0
+			}
+			hi := y + r
+			if hi >= b.H {
+				hi = b.H - 1
+			}
+			for j := lo; j <= hi; j++ {
+				out.Pix[j*b.W+x] = 1
+			}
+		}
+	}
+	return out
+}
+
+// Erode returns b eroded by a (2r+1)×(2r+1) square structuring element.
+// Outside the image counts as foreground (replicated border, as in OpenCV),
+// which keeps Close extensive (Close(b) ⊇ b) everywhere including borders.
+func Erode(b *Binary, r int) *Binary {
+	if r <= 0 {
+		return b.Clone()
+	}
+	// Separable erosion via sliding background count: a pixel survives a
+	// pass iff its clipped window contains no background.
+	tmp := NewBinary(b.W, b.H)
+	for y := 0; y < b.H; y++ {
+		row := y * b.W
+		bg := 0
+		for x := 0; x <= r && x < b.W; x++ {
+			if b.Pix[row+x] == 0 {
+				bg++
+			}
+		}
+		for x := 0; x < b.W; x++ {
+			if bg == 0 {
+				tmp.Pix[row+x] = 1
+			}
+			if add := x + r + 1; add < b.W && b.Pix[row+add] == 0 {
+				bg++
+			}
+			if del := x - r; del >= 0 && b.Pix[row+del] == 0 {
+				bg--
+			}
+		}
+	}
+	out := NewBinary(b.W, b.H)
+	for x := 0; x < b.W; x++ {
+		bg := 0
+		for y := 0; y <= r && y < b.H; y++ {
+			if tmp.Pix[y*b.W+x] == 0 {
+				bg++
+			}
+		}
+		for y := 0; y < b.H; y++ {
+			if bg == 0 {
+				out.Pix[y*b.W+x] = 1
+			}
+			if add := y + r + 1; add < b.H && tmp.Pix[add*b.W+x] == 0 {
+				bg++
+			}
+			if del := y - r; del >= 0 && tmp.Pix[del*b.W+x] == 0 {
+				bg--
+			}
+		}
+	}
+	return out
+}
+
+// Open erodes then dilates: removes speckle smaller than the element.
+func Open(b *Binary, r int) *Binary { return Dilate(Erode(b, r), r) }
+
+// Close dilates then erodes: fills holes/gaps smaller than the element.
+func Close(b *Binary, r int) *Binary { return Erode(Dilate(b, r), r) }

@@ -1,0 +1,129 @@
+// Package vision is the pure-Go substitute for the OpenCV functionality the
+// paper's prototype used: global thresholding, binary morphology, connected
+// components, contour tracing and the conversion of a closed contour into a
+// centroid-distance time series (the "shape → time series" step of §IV).
+package vision
+
+import (
+	"errors"
+
+	"hdc/internal/raster"
+)
+
+// Binary is a binary mask with the same layout as raster.Gray; nonzero
+// bytes are foreground.
+type Binary struct {
+	W, H int
+	Pix  []uint8 // 0 background, 1 foreground
+}
+
+// ErrEmptyImage is returned for operations on images without foreground.
+var ErrEmptyImage = errors.New("vision: no foreground pixels")
+
+// NewBinary allocates an all-background mask.
+func NewBinary(w, h int) *Binary {
+	return &Binary{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// In reports whether (x, y) lies inside the mask.
+func (b *Binary) In(x, y int) bool { return x >= 0 && x < b.W && y >= 0 && y < b.H }
+
+// At returns 1 for foreground at (x, y), 0 otherwise (including outside).
+func (b *Binary) At(x, y int) uint8 {
+	if !b.In(x, y) {
+		return 0
+	}
+	return b.Pix[y*b.W+x]
+}
+
+// Set writes a mask pixel; out-of-range writes are ignored.
+func (b *Binary) Set(x, y int, v uint8) {
+	if b.In(x, y) {
+		if v != 0 {
+			v = 1
+		}
+		b.Pix[y*b.W+x] = v
+	}
+}
+
+// Count returns the number of foreground pixels.
+func (b *Binary) Count() int {
+	var n int
+	for _, p := range b.Pix {
+		if p != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns an independent copy.
+func (b *Binary) Clone() *Binary {
+	out := &Binary{W: b.W, H: b.H, Pix: make([]uint8, len(b.Pix))}
+	copy(out.Pix, b.Pix)
+	return out
+}
+
+// OtsuThreshold computes Otsu's optimal global threshold for g: the
+// intensity that maximises between-class variance of the histogram.
+func OtsuThreshold(g *raster.Gray) uint8 {
+	hist := g.Histogram()
+	total := len(g.Pix)
+
+	var sumAll float64
+	for i, c := range hist {
+		sumAll += float64(i) * float64(c)
+	}
+
+	var sumB, wB float64
+	var best float64
+	var threshold uint8
+	for t := 0; t < 256; t++ {
+		wB += float64(hist[t])
+		if wB == 0 {
+			continue
+		}
+		wF := float64(total) - wB
+		if wF == 0 {
+			break
+		}
+		sumB += float64(t) * float64(hist[t])
+		mB := sumB / wB
+		mF := (sumAll - sumB) / wF
+		between := wB * wF * (mB - mF) * (mB - mF)
+		if between > best {
+			best = between
+			threshold = uint8(t)
+		}
+	}
+	return threshold
+}
+
+// Threshold binarises g: pixels strictly above t become foreground when
+// brightForeground, otherwise pixels at or below t do.
+func Threshold(g *raster.Gray, t uint8, brightForeground bool) *Binary {
+	b := NewBinary(g.W, g.H)
+	for i, p := range g.Pix {
+		fg := p > t
+		if !brightForeground {
+			fg = !fg
+		}
+		if fg {
+			b.Pix[i] = 1
+		}
+	}
+	return b
+}
+
+// OtsuBinarize thresholds g at the Otsu level, choosing the polarity that
+// yields the smaller foreground (the signaller occupies a minority of the
+// frame in the paper's setup).
+func OtsuBinarize(g *raster.Gray) *Binary {
+	t := OtsuThreshold(g)
+	bright := Threshold(g, t, true)
+	dark := Threshold(g, t, false)
+	if bright.Count() <= dark.Count() {
+		return bright
+	}
+	return dark
+}
