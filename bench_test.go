@@ -1,11 +1,13 @@
 // Benchmarks regenerating the hot path of every experiment in DESIGN.md's
-// E1–E16 index (one benchmark per paper figure/result or extension). Run with:
+// E1–E17 index (one benchmark per paper figure/result or extension). Run with:
 //
 //	go test -bench=. -benchmem
 package hdc
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -18,6 +20,7 @@ import (
 	"hdc/internal/ledring"
 	"hdc/internal/mission"
 	"hdc/internal/orchard"
+	"hdc/internal/pipeline"
 	"hdc/internal/protocol"
 	"hdc/internal/raster"
 	"hdc/internal/recognizer"
@@ -328,6 +331,85 @@ func BenchmarkE15DeadZoneCapture(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := rec.Recognize(frame); err != nil && err != recognizer.ErrNoSign {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPipelineThroughput pushes b.N frames through one stream of a pool
+// with the given worker count, measuring sustained frames/sec of the
+// streaming service (ns/op = time per frame).
+func benchPipelineThroughput(b *testing.B, workers int) {
+	rec, rend := mustPipeline(b)
+	frame := mustFrame(b, rend, body.SignNo, scene.ReferenceView())
+	p, err := pipeline.New(rec, pipeline.Config{
+		Workers: workers, QueueDepth: 4 * workers, StreamWindow: 4 * workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	st, err := p.NewStream()
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan int)
+	go func() {
+		n := 0
+		for range st.Results() {
+			n++
+		}
+		done <- n
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Submit(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st.Close()
+	if n := <-done; n != b.N {
+		b.Fatalf("delivered %d/%d results", n, b.N)
+	}
+}
+
+// BenchmarkPipelineThroughput — the tentpole measurement: single-worker vs
+// NumCPU-worker frame throughput of the streaming recognition service. On a
+// multi-core runner the workers=NumCPU variant should sustain several times
+// the single-worker frames/sec; per-frame allocations (B/op) stay flat with
+// worker count and well below the unpooled front half (BenchmarkE4).
+func BenchmarkPipelineThroughput(b *testing.B) {
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchPipelineThroughput(b, workers)
+		})
+	}
+}
+
+// BenchmarkPipelineBatch — the RecognizeBatch convenience over the same
+// pool: 16-frame batches through NumCPU workers.
+func BenchmarkPipelineBatch(b *testing.B) {
+	rec, rend := mustPipeline(b)
+	frames := make([]*raster.Gray, 16)
+	for i := range frames {
+		frames[i] = mustFrame(b, rend, body.SignNo, scene.View{
+			AltitudeM: 5, DistanceM: 3, AzimuthDeg: float64(i * 4),
+		})
+	}
+	p, err := pipeline.New(rec, pipeline.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.RecognizeBatch(frames); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,3 @@
+module hdc
+
+go 1.22

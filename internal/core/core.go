@@ -10,13 +10,16 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"hdc/internal/drone"
 	"hdc/internal/flight"
 	"hdc/internal/geom"
 	"hdc/internal/human"
 	"hdc/internal/ledring"
+	"hdc/internal/pipeline"
 	"hdc/internal/protocol"
+	"hdc/internal/raster"
 	"hdc/internal/recognizer"
 	"hdc/internal/scene"
 	"hdc/internal/telemetry"
@@ -31,6 +34,7 @@ type config struct {
 	sceneCfg scene.Config
 	recCfg   recognizer.Config
 	protoCfg protocol.Config
+	pipeCfg  pipeline.Config
 	home     geom.Vec3
 	standoff float64 // negotiation stand-off distance (m)
 	negotAlt float64 // negotiation altitude (m)
@@ -63,6 +67,10 @@ func WithRecognizerConfig(r recognizer.Config) Option { return func(c *config) {
 // WithProtocolConfig overrides negotiation timeouts/retries.
 func WithProtocolConfig(p protocol.Config) Option { return func(c *config) { c.protoCfg = p } }
 
+// WithPipelineConfig sizes the streaming recognition worker pool behind
+// NewStream/RecognizeBatch (default: NumCPU workers).
+func WithPipelineConfig(p pipeline.Config) Option { return func(c *config) { c.pipeCfg = p } }
+
 // WithHome places the drone's base station.
 func WithHome(h geom.Vec3) Option { return func(c *config) { c.home = h } }
 
@@ -84,7 +92,10 @@ func WithWind(mean geom.Vec2, gustStd float64) Option {
 	}
 }
 
-// System is the assembled human-drone communication stack.
+// System is the assembled human-drone communication stack. The streaming
+// members (NewStream, RecognizeBatch) are safe for concurrent use; the
+// single-drone members (Converse, EnsureAirborne) drive the one agent and
+// must not be called concurrently with each other.
 type System struct {
 	Agent  *drone.Agent
 	Rend   *scene.Renderer
@@ -95,6 +106,13 @@ type System struct {
 
 	standoff float64
 	negotAlt float64
+
+	pipeCfg  pipeline.Config
+	pipeOnce sync.Once
+	pipe     *pipeline.Pipeline
+	pipeErr  error
+
+	framePool raster.Pool // recycles conversation/perception frame buffers
 }
 
 // NewSystem assembles a system: drone at home, references built at the
@@ -148,6 +166,7 @@ func NewSystem(opts ...Option) (*System, error) {
 		Rng:      rng,
 		standoff: cfg.standoff,
 		negotAlt: cfg.negotAlt,
+		pipeCfg:  cfg.pipeCfg,
 	}, nil
 }
 
@@ -182,10 +201,11 @@ func (s *System) Converse(c *human.Collaborator) (protocol.Result, error) {
 // negotiation altitude.
 func (s *System) StandoffPoint(c *human.Collaborator) geom.Vec3 {
 	from := s.Agent.D.S.Pos.XY()
-	dir := from.Sub(c.Pos)
+	hp := c.Position()
+	dir := from.Sub(hp)
 	if dir.Norm() < 1e-9 {
 		dir = geom.V2(0, -1)
 	}
-	p := c.Pos.Add(dir.Unit().Scale(s.standoff))
+	p := hp.Add(dir.Unit().Scale(s.standoff))
 	return geom.V3(p.X, p.Y, s.negotAlt)
 }

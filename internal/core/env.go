@@ -10,6 +10,7 @@ import (
 	"hdc/internal/geom"
 	"hdc/internal/human"
 	"hdc/internal/protocol"
+	"hdc/internal/raster"
 	"hdc/internal/recognizer"
 	"hdc/internal/scene"
 )
@@ -21,6 +22,7 @@ import (
 type conversationEnv struct {
 	sys   *System
 	human *human.Collaborator
+	frame *raster.Gray // pooled render target, reused across perceptions
 
 	extra     time.Duration // perception time not covered by the agent clock
 	lastPoked bool
@@ -31,12 +33,15 @@ func newConversationEnv(s *System, c *human.Collaborator) *conversationEnv {
 	// The safety monitor must know about the collaborator, and the
 	// negotiated approach happens inside the separation bubble, so the
 	// waiver is managed around EnterArea.
-	s.Agent.SetHumans([]geom.Vec2{c.Pos})
-	return &conversationEnv{sys: s, human: c}
+	s.Agent.SetHumans([]geom.Vec2{c.Position()})
+	cfg := s.Rend.Config()
+	return &conversationEnv{sys: s, human: c, frame: s.framePool.Get(cfg.Width, cfg.Height)}
 }
 
 func (e *conversationEnv) close() {
 	e.sys.Agent.WaiveSeparation(false)
+	e.sys.framePool.Put(e.frame)
+	e.frame = nil
 }
 
 // Now implements protocol.Env.
@@ -59,10 +64,12 @@ func (e *conversationEnv) FlyPattern(p flight.Pattern) error {
 		target = e.sys.StandoffPoint(e.human)
 	case flight.PatternPoke:
 		e.lastPoked = true
-		target = geom.V3(e.human.Pos.X, e.human.Pos.Y, e.sys.negotAlt)
+		hp := e.human.Position()
+		target = geom.V3(hp.X, hp.Y, e.sys.negotAlt)
 	case flight.PatternRectangle:
 		e.lastAsked = true
-		target = geom.V3(e.human.Pos.X, e.human.Pos.Y, e.sys.negotAlt)
+		hp := e.human.Position()
+		target = geom.V3(hp.X, hp.Y, e.sys.negotAlt)
 	}
 	_, err := a.FlyPattern(p, target)
 	return mapErr(err)
@@ -92,15 +99,15 @@ func (e *conversationEnv) PerceiveSign(timeout time.Duration) (body.Sign, bool, 
 
 	// An attending collaborator turns towards the drone (with human
 	// imprecision) before signing.
-	bearing := geom.HeadingOf(e.sys.Agent.D.S.Pos.XY().Sub(e.human.Pos))
-	e.human.Facing = bearing.Add(geom.Deg2Rad(resp.Jitter))
+	bearing := geom.HeadingOf(e.sys.Agent.D.S.Pos.XY().Sub(e.human.Position()))
+	e.human.SetFacing(bearing.Add(geom.Deg2Rad(resp.Jitter)))
 
 	view, ok := e.viewOf()
 	if !ok {
 		e.extra += timeout - resp.Latency
 		return 0, false, nil
 	}
-	frame, err := e.sys.Rend.Render(resp.Sign, view, resp.BodyOptions(), e.sys.Rng)
+	frame, err := e.sys.Rend.RenderInto(e.frame, resp.Sign, view, resp.BodyOptions(), e.sys.Rng)
 	if err != nil {
 		e.extra += timeout - resp.Latency
 		return 0, false, nil
@@ -121,12 +128,13 @@ func (e *conversationEnv) PerceiveSign(timeout time.Duration) (body.Sign, bool, 
 // plausible envelope.
 func (e *conversationEnv) viewOf() (scene.View, bool) {
 	dronePos := e.sys.Agent.D.S.Pos
-	dist := dronePos.XY().Dist(e.human.Pos)
+	hp := e.human.Position()
+	dist := dronePos.XY().Dist(hp)
 	if dist < 0.5 {
 		return scene.View{}, false
 	}
-	bearingFromHuman := geom.HeadingOf(dronePos.XY().Sub(e.human.Pos))
-	rel := e.human.Facing.Diff(bearingFromHuman)
+	bearingFromHuman := geom.HeadingOf(dronePos.XY().Sub(hp))
+	rel := e.human.Heading().Diff(bearingFromHuman)
 	v := scene.View{
 		AltitudeM:  dronePos.Z,
 		DistanceM:  dist,
@@ -140,7 +148,8 @@ func (e *conversationEnv) viewOf() (scene.View, bool) {
 func (e *conversationEnv) EnterArea() error {
 	a := e.sys.Agent
 	a.WaiveSeparation(true)
-	target := geom.V3(e.human.Pos.X, e.human.Pos.Y, e.sys.negotAlt*0.6)
+	hp := e.human.Position()
+	target := geom.V3(hp.X, hp.Y, e.sys.negotAlt*0.6)
 	_, err := a.FlyPattern(flight.PatternCruise, target)
 	return mapErr(err)
 }
@@ -150,11 +159,12 @@ func (e *conversationEnv) Retreat() error {
 	a := e.sys.Agent
 	a.WaiveSeparation(false)
 	from := a.D.S.Pos.XY()
-	dir := from.Sub(e.human.Pos)
+	hp := e.human.Position()
+	dir := from.Sub(hp)
 	if dir.Norm() < 1e-9 {
 		dir = geom.V2(0, -1)
 	}
-	p := e.human.Pos.Add(dir.Unit().Scale(2 * e.sys.standoff))
+	p := hp.Add(dir.Unit().Scale(2 * e.sys.standoff))
 	_, err := a.FlyPattern(flight.PatternCruise, geom.V3(p.X, p.Y, e.sys.negotAlt))
 	return mapErr(err)
 }

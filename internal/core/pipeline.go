@@ -1,0 +1,58 @@
+package core
+
+import (
+	"hdc/internal/pipeline"
+	"hdc/internal/raster"
+	"hdc/internal/recognizer"
+)
+
+// pipeline.go exposes the streaming recognition service on the System
+// façade: many concurrent frame sources (multi-camera ingest, fleet drones,
+// remote clients) share one worker pool over the system's recogniser.
+
+// ensurePipeline lazily starts the shared worker pool. The recogniser's
+// references were built in NewSystem, so the pool is safe to start at any
+// point afterwards.
+func (s *System) ensurePipeline() (*pipeline.Pipeline, error) {
+	s.pipeOnce.Do(func() {
+		s.pipe, s.pipeErr = pipeline.New(s.Rec, s.pipeCfg)
+	})
+	return s.pipe, s.pipeErr
+}
+
+// NewStream opens an ordered recognition stream on the system's shared
+// worker pool: frames submitted to it come back as recognizer.Results in
+// submission order on the stream's Results channel, while the pool
+// recognises frames from all streams in parallel. The first call starts the
+// pool (size configured with WithPipelineConfig, default NumCPU workers).
+func (s *System) NewStream() (*pipeline.Stream, error) {
+	p, err := s.ensurePipeline()
+	if err != nil {
+		return nil, err
+	}
+	return p.NewStream()
+}
+
+// RecognizeBatch recognises a batch of frames on the shared worker pool and
+// returns the results in input order with one error slot per frame (nil for
+// an accepted sign, recognizer.ErrNoSign or a vision error otherwise).
+func (s *System) RecognizeBatch(frames []*raster.Gray) ([]recognizer.Result, []error, error) {
+	p, err := s.ensurePipeline()
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.RecognizeBatch(frames)
+}
+
+// Close shuts down the system's worker pool, if one was started. Streams
+// still open deliver their in-flight results and then close. Close is
+// idempotent; a System that never streamed needs no Close, and streaming
+// calls after Close fail with pipeline.ErrClosed.
+func (s *System) Close() {
+	// Pool never started: consume the once so a later NewStream reports
+	// closed instead of starting a pool on a closed system.
+	s.pipeOnce.Do(func() { s.pipeErr = pipeline.ErrClosed })
+	if s.pipe != nil {
+		s.pipe.Close()
+	}
+}

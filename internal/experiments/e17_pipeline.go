@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"hdc/internal/body"
+	"hdc/internal/pipeline"
+	"hdc/internal/recognizer"
+	"hdc/internal/scene"
+	"hdc/internal/telemetry"
+)
+
+// E17Pipeline measures the streaming recognition service: frames/sec of the
+// worker pool at increasing worker counts, ordering preserved per stream.
+// On a single-core host the counts coincide; on a multi-core runner the
+// NumCPU row shows the scaling headroom the pipeline opens (the paper's
+// prototype was single-threaded at 38 ms/frame — one stream per drone of a
+// fleet shares this pool instead).
+func E17Pipeline() (string, error) {
+	rec, err := recognizer.New(recognizer.Config{})
+	if err != nil {
+		return "", err
+	}
+	rend := scene.NewRenderer(scene.Config{})
+	if err := rec.BuildReferences(rend, scene.ReferenceView()); err != nil {
+		return "", err
+	}
+	frame, err := rend.Render(body.SignNo, scene.ReferenceView(), body.Options{}, nil)
+	if err != nil {
+		return "", err
+	}
+
+	const frames = 120
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		counts = append(counts, n)
+	}
+
+	tab := telemetry.NewTable("workers", "frames", "elapsed", "frames/sec", "ordered")
+	for _, workers := range counts {
+		p, err := pipeline.New(rec, pipeline.Config{Workers: workers})
+		if err != nil {
+			return "", err
+		}
+		st, err := p.NewStream()
+		if err != nil {
+			p.Close()
+			return "", err
+		}
+		ordered := true
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			next := uint64(0)
+			for r := range st.Results() {
+				if r.Seq != next {
+					ordered = false
+				}
+				next++
+			}
+		}()
+		start := time.Now()
+		var submitErr error
+		for i := 0; i < frames; i++ {
+			if err := st.Submit(frame); err != nil {
+				submitErr = err
+				break
+			}
+		}
+		st.Close()
+		<-done
+		elapsed := time.Since(start)
+		p.Close()
+		if submitErr != nil {
+			return "", submitErr
+		}
+		tab.AddRow(
+			fmt.Sprintf("%d", workers),
+			fmt.Sprintf("%d", frames),
+			elapsed.Truncate(time.Millisecond).String(),
+			fmt.Sprintf("%.1f", float64(frames)/elapsed.Seconds()),
+			fmt.Sprintf("%v", ordered),
+		)
+	}
+
+	var sb strings.Builder
+	sb.WriteString("Paper baseline: the §IV prototype recognised one frame at a time,\n")
+	sb.WriteString("single-threaded, at 38 ms (0°) / 27 ms (65°). This extension streams\n")
+	sb.WriteString("frames from many concurrent sources through a worker pool\n")
+	sb.WriteString("(internal/pipeline): per-worker scratch state, pooled buffers,\n")
+	sb.WriteString("per-stream in-order delivery.\n\n")
+	sb.WriteString(tab.Markdown())
+	sb.WriteString(fmt.Sprintf("\nHost: GOMAXPROCS=%d, NumCPU=%d. `BenchmarkPipelineThroughput`\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU()))
+	sb.WriteString("measures the same path with -benchmem (per-frame allocations stay\n")
+	sb.WriteString("in the low-KB range versus the ~340 KB/frame of the unpooled front\n")
+	sb.WriteString("half benchmarked by E4).\n")
+	return sb.String(), nil
+}

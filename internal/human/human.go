@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"hdc/internal/body"
@@ -104,14 +105,49 @@ func DefaultProfile(r Role) (Profile, error) {
 }
 
 // Collaborator is one human in the environment.
+//
+// Concurrency: a collaborator in a shared world may be observed by one drone
+// while the world stepper moves them, so all behavioural methods and the
+// Position/SetPosition/Heading/SetFacing accessors synchronise on an
+// internal mutex. The exported Pos/Facing fields remain for single-goroutine
+// construction and tests; concurrent code must go through the accessors.
 type Collaborator struct {
 	Name    string
 	Role    Role
 	Profile Profile
-	Pos     geom.Vec2 // ground position (m)
+	Pos     geom.Vec2 // ground position (m); see concurrency note above
 	Facing  geom.Heading
 
+	mu  sync.Mutex
 	rng *rand.Rand
+}
+
+// Position returns the collaborator's ground position.
+func (c *Collaborator) Position() geom.Vec2 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Pos
+}
+
+// SetPosition moves the collaborator.
+func (c *Collaborator) SetPosition(p geom.Vec2) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Pos = p
+}
+
+// Heading returns the direction the collaborator is facing.
+func (c *Collaborator) Heading() geom.Heading {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Facing
+}
+
+// SetFacing turns the collaborator.
+func (c *Collaborator) SetFacing(h geom.Heading) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Facing = h
 }
 
 // New creates a collaborator with the role's default profile. rng must be
@@ -139,6 +175,8 @@ type Response struct {
 // RespondAttention decides whether the human acknowledges a poke and, if
 // so, produces the AttentionGained sign.
 func (c *Collaborator) RespondAttention() Response {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.rng.Float64() > c.Profile.AttentionProb {
 		return Response{Responded: false}
 	}
@@ -149,6 +187,8 @@ func (c *Collaborator) RespondAttention() Response {
 // (Fig 3): Yes with GrantProb, otherwise No — then realises the sign with
 // role-dependent imperfection.
 func (c *Collaborator) RespondAreaRequest() Response {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	intended := body.SignNo
 	if c.rng.Float64() < c.Profile.GrantProb {
 		intended = body.SignYes
@@ -156,7 +196,8 @@ func (c *Collaborator) RespondAreaRequest() Response {
 	return c.produce(intended)
 }
 
-// produce realises an intended sign with the role's error model.
+// produce realises an intended sign with the role's error model. Callers
+// hold c.mu.
 func (c *Collaborator) produce(intended body.Sign) Response {
 	actual := intended
 	if c.rng.Float64() > c.Profile.CorrectSignProb {
@@ -193,6 +234,24 @@ func (r Response) BodyOptions() body.Options {
 // Walk moves the collaborator by a random step of at most stepM meters —
 // the orchard world uses it to circulate workers between trees.
 func (c *Collaborator) Walk(stepM float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.walk(stepM)
+}
+
+// WalkWithin is Walk with the destination clamped to the [lo, hi] rectangle,
+// performed atomically so a concurrent observer never sees the unclamped
+// intermediate position.
+func (c *Collaborator) WalkWithin(stepM float64, lo, hi geom.Vec2) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.walk(stepM)
+	c.Pos.X = geom.Clamp(c.Pos.X, lo.X, hi.X)
+	c.Pos.Y = geom.Clamp(c.Pos.Y, lo.Y, hi.Y)
+}
+
+// walk implements the random step; callers hold c.mu.
+func (c *Collaborator) walk(stepM float64) {
 	if stepM <= 0 {
 		return
 	}

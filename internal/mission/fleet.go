@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"hdc/internal/core"
@@ -98,19 +99,35 @@ func PartitionTraps(traps []*orchard.Trap, k int) [][]*orchard.Trap {
 	return out
 }
 
-// Run executes every drone's share. Drones run sequentially in host time
-// but their flight clocks are independent, so the fleet makespan is the
-// maximum per-drone time — the quantity a real concurrent fleet would
-// experience.
+// Run executes every drone's share concurrently: each mission runs its
+// conversation loop — flight, rendering, SAX recognition, negotiation — in
+// its own goroutine against the shared world, which serialises world
+// mutation internally (orchard lock) and per-person state (collaborator
+// locks). Per-drone flight clocks remain independent, so the fleet makespan
+// is the maximum per-drone time; host wall-clock now approaches that
+// makespan instead of the per-drone sum. The aggregate report is assembled
+// in drone order, so its layout is deterministic even though negotiation
+// interleaving is schedule-dependent.
 func (f *Fleet) Run() (FleetReport, error) {
 	parts := PartitionTraps(f.World.UnreadTraps(), len(f.Missions))
+	reports := make([]Report, len(f.Missions))
+	errs := make([]error, len(f.Missions))
+	var wg sync.WaitGroup
+	for i, m := range f.Missions {
+		wg.Add(1)
+		go func(i int, m *Mission) {
+			defer wg.Done()
+			reports[i], errs[i] = m.runOver(parts[i])
+		}(i, m)
+	}
+	wg.Wait()
+
 	var rep FleetReport
 	for i, m := range f.Missions {
-		share := parts[i]
-		r, err := m.runOver(share)
-		if err != nil {
-			return rep, fmt.Errorf("mission: drone %d: %w", i, err)
+		if errs[i] != nil {
+			return rep, fmt.Errorf("mission: drone %d: %w", i, errs[i])
 		}
+		r := reports[i]
 		rep.PerDrone = append(rep.PerDrone, r)
 		rep.TrapsTotal += r.TrapsTotal
 		rep.TrapsRead += r.TrapsRead

@@ -1,0 +1,110 @@
+package mission
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"hdc/internal/core"
+	"hdc/internal/geom"
+	"hdc/internal/orchard"
+)
+
+// TestFleetConcurrentNegotiations runs a 4-drone fleet over a busy world —
+// enough humans that several drones negotiate at once — and checks the
+// aggregate report stays consistent. The per-drone mission loops run in
+// parallel goroutines sharing the orchard, so this is the race-detector
+// workout for the world lock, the collaborator locks and the per-system
+// recognition stacks.
+func TestFleetConcurrentNegotiations(t *testing.T) {
+	world, err := orchard.Generate(orchard.Config{
+		Rows: 4, Cols: 6, TrapEvery: 2, Humans: 6,
+	}, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	world.Step(30 * time.Minute)
+
+	const drones = 4
+	fleet, err := NewFleet(drones, world, Config{}, func(i int) (*core.System, error) {
+		return core.NewSystem(
+			core.WithSeed(int64(400+i)),
+			core.WithHome(geom.V3(-4-float64(3*i), -4, 0)),
+		)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fleet.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rep.PerDrone) != drones {
+		t.Fatalf("per-drone reports: %d, want %d", len(rep.PerDrone), drones)
+	}
+	var traps, read, neg, granted, denied, silent, aborted int
+	for _, r := range rep.PerDrone {
+		traps += r.TrapsTotal
+		read += r.TrapsRead
+		neg += r.Negotiations
+		granted += r.Granted
+		denied += r.Denied
+		silent += r.NoResponse
+		aborted += r.Aborted
+	}
+	if traps != rep.TrapsTotal || read != rep.TrapsRead || neg != rep.Negotiations ||
+		granted != rep.Granted || denied != rep.Denied || silent != rep.NoResponse ||
+		aborted != rep.Aborted {
+		t.Fatalf("aggregate drifted from per-drone sums: %+v", rep)
+	}
+	if rep.TrapsTotal != 12 {
+		t.Fatalf("fleet covered %d traps, want 12", rep.TrapsTotal)
+	}
+	if rep.TrapsRead == 0 {
+		t.Fatal("no traps read")
+	}
+	// Every negotiation resolved to exactly one outcome.
+	if granted+denied+silent+aborted < neg {
+		t.Fatalf("negotiations unaccounted: %d outcomes for %d negotiations",
+			granted+denied+silent+aborted, neg)
+	}
+	if rep.MaxDroneTime <= 0 {
+		t.Fatal("makespan missing")
+	}
+}
+
+// TestFleetSequentialStillDeterministic pins the single-drone path: with one
+// mission there is no interleaving, so two identical runs must agree
+// event-for-event — the reproducibility contract the experiments rely on.
+func TestFleetSequentialStillDeterministic(t *testing.T) {
+	run := func() (FleetReport, error) {
+		world, err := orchard.Generate(orchard.Config{
+			Rows: 3, Cols: 4, TrapEvery: 2, Humans: 2,
+		}, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		world.Step(time.Hour)
+		fleet, err := NewFleet(1, world, Config{}, func(i int) (*core.System, error) {
+			return core.NewSystem(core.WithSeed(99), core.WithHome(geom.V3(-5, -5, 0)))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fleet.Run()
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TrapsRead != b.TrapsRead || a.Negotiations != b.Negotiations ||
+		a.Granted != b.Granted || a.Denied != b.Denied ||
+		a.MaxDroneTime != b.MaxDroneTime {
+		t.Fatalf("single-drone fleet runs diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -109,7 +109,7 @@ func TestFleetRunCoversWorld(t *testing.T) {
 func TestFleetSharesMakespanShrinks(t *testing.T) {
 	run := func(n int) time.Duration {
 		world, err := orchard.Generate(orchard.Config{
-			Rows: 4, Cols: 6, TrapEvery: 2, Humans: 0,
+			Rows: 4, Cols: 6, TrapEvery: 2, Humans: -1,
 		}, rand.New(rand.NewSource(13)))
 		if err != nil {
 			t.Fatal(err)

@@ -265,19 +265,11 @@ func (m *Mission) runOver(traps []*orchard.Trap) (Report, error) {
 	rep.TrapsSkipped = rep.TrapsTotal - rep.TrapsRead
 	rep.SimTime = m.World.Clock()
 	rep.BatteryUsed = startCharge - m.Sys.Agent.BatteryFrac()
-	for _, tr := range m.World.Traps {
-		if tr.ReadCount > 0 && tr.NeedsAction(cfg.PestThreshold) {
-			rep.ActionTraps++
-		}
-	}
+	rep.ActionTraps = m.World.ReadActionCount(cfg.PestThreshold)
 	return rep, nil
 }
 
 // syncHumans publishes the humans' positions to the safety monitor.
 func (m *Mission) syncHumans() {
-	pos := make([]geom.Vec2, len(m.World.People))
-	for i, p := range m.World.People {
-		pos[i] = p.Pos
-	}
-	m.Sys.Agent.SetHumans(pos)
+	m.Sys.Agent.SetHumans(m.World.PeoplePositions())
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"hdc/internal/geom"
@@ -41,7 +42,8 @@ type Config struct {
 	// PestRatePerHour is the mean arrival rate per trap (default 1.2).
 	PestRatePerHour float64
 	// Humans is the number of collaborators to scatter (default 3; one of
-	// each role, then cycling).
+	// each role, then cycling). Negative means a world with no humans at
+	// all — no negotiations ever trigger.
 	Humans int
 	// WalkStepM bounds human movement per simulation step (default 1).
 	WalkStepM float64
@@ -69,18 +71,27 @@ func (c Config) withDefaults() Config {
 	if c.Humans == 0 {
 		c.Humans = 3
 	}
+	if c.Humans < 0 {
+		c.Humans = 0
+	}
 	if c.WalkStepM == 0 {
 		c.WalkStepM = 1
 	}
 	return c
 }
 
-// Orchard is the world state. Not safe for concurrent use.
+// Orchard is the world state. Its methods synchronise on an internal mutex
+// so several drones can share one world (the fleet runs its per-drone
+// mission loops concurrently); collaborators additionally guard their own
+// state, letting a negotiation proceed while the world stepper moves other
+// people. Direct field iteration (Traps, People) is only safe once no
+// concurrent missions are running.
 type Orchard struct {
 	Cfg    Config
 	Traps  []*Trap
 	People []*human.Collaborator
 
+	mu    sync.Mutex
 	rng   *rand.Rand
 	clock time.Duration
 }
@@ -118,9 +129,12 @@ func Generate(cfg Config, rng *rand.Rand) (*Orchard, error) {
 			rng.Float64()*float64(cfg.Cols-1)*cfg.TreeSpacing,
 			rng.Float64()*float64(cfg.Rows-1)*cfg.RowSpacing,
 		)
+		// Each collaborator draws from their own deterministic stream so
+		// concurrent drones negotiating with different people never contend
+		// on (or race over) one generator.
 		person, err := human.New(
 			fmt.Sprintf("%s-%d", roles[i%len(roles)], i),
-			roles[i%len(roles)], pos, rng,
+			roles[i%len(roles)], pos, rand.New(rand.NewSource(rng.Int63())),
 		)
 		if err != nil {
 			return nil, err
@@ -131,7 +145,11 @@ func Generate(cfg Config, rng *rand.Rand) (*Orchard, error) {
 }
 
 // Clock returns the world time.
-func (o *Orchard) Clock() time.Duration { return o.clock }
+func (o *Orchard) Clock() time.Duration {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.clock
+}
 
 // Bounds returns the orchard's axis-aligned extent.
 func (o *Orchard) Bounds() (min, max geom.Vec2) {
@@ -145,6 +163,8 @@ func (o *Orchard) Bounds() (min, max geom.Vec2) {
 // Step advances the world: pests arrive (Poisson), humans wander inside the
 // bounds.
 func (o *Orchard) Step(dt time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.clock += dt
 	hours := dt.Hours()
 	for _, tr := range o.Traps {
@@ -152,9 +172,7 @@ func (o *Orchard) Step(dt time.Duration) {
 	}
 	lo, hi := o.Bounds()
 	for _, p := range o.People {
-		p.Walk(o.Cfg.WalkStepM)
-		p.Pos.X = geom.Clamp(p.Pos.X, lo.X, hi.X)
-		p.Pos.Y = geom.Clamp(p.Pos.Y, lo.Y, hi.Y)
+		p.WalkWithin(o.Cfg.WalkStepM, lo, hi)
 	}
 }
 
@@ -180,10 +198,12 @@ func poisson(rng *rand.Rand, lambda float64) int {
 
 // HumanNear returns the collaborator closest to pos within radius, or nil.
 func (o *Orchard) HumanNear(pos geom.Vec2, radius float64) *human.Collaborator {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	var best *human.Collaborator
 	bestD := radius
 	for _, p := range o.People {
-		if d := p.Pos.Dist(pos); d <= bestD {
+		if d := p.Position().Dist(pos); d <= bestD {
 			best = p
 			bestD = d
 		}
@@ -191,9 +211,23 @@ func (o *Orchard) HumanNear(pos geom.Vec2, radius float64) *human.Collaborator {
 	return best
 }
 
+// PeoplePositions returns a snapshot of every collaborator's position, in
+// People order — what the drones publish to their safety monitors.
+func (o *Orchard) PeoplePositions() []geom.Vec2 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	pos := make([]geom.Vec2, len(o.People))
+	for i, p := range o.People {
+		pos[i] = p.Position()
+	}
+	return pos
+}
+
 // ReadTrap records a successful read at the world clock and returns the
 // count.
 func (o *Orchard) ReadTrap(t *Trap) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	t.LastRead = o.clock
 	t.ReadCount++
 	return t.PestCount
@@ -201,6 +235,8 @@ func (o *Orchard) ReadTrap(t *Trap) int {
 
 // UnreadTraps returns traps never read, oldest position order.
 func (o *Orchard) UnreadTraps() []*Trap {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	var out []*Trap
 	for _, t := range o.Traps {
 		if t.LastRead < 0 {
@@ -212,6 +248,8 @@ func (o *Orchard) UnreadTraps() []*Trap {
 
 // ActionTraps returns traps at or above the pest threshold.
 func (o *Orchard) ActionTraps(threshold int) []*Trap {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	var out []*Trap
 	for _, t := range o.Traps {
 		if t.NeedsAction(threshold) {
@@ -219,4 +257,19 @@ func (o *Orchard) ActionTraps(threshold int) []*Trap {
 		}
 	}
 	return out
+}
+
+// ReadActionCount counts traps that have been read and sit at or above the
+// pest threshold — the mission report's "needs spraying" figure, computed
+// under the world lock so concurrent missions can report while others fly.
+func (o *Orchard) ReadActionCount(threshold int) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := 0
+	for _, t := range o.Traps {
+		if t.ReadCount > 0 && t.NeedsAction(threshold) {
+			n++
+		}
+	}
+	return n
 }

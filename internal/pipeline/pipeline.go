@@ -1,0 +1,363 @@
+// Package pipeline is the streaming frame-recognition service layered over
+// internal/recognizer: frames arrive from any number of concurrent sources
+// (one Stream per source — a camera, a drone, a client connection), fan out
+// over a fixed pool of recognition workers, and come back to each source as
+// an ordered sequence of recognizer.Results.
+//
+// The design follows the executor pattern of dataflow robotic middlewares
+// (DORA, the ROS 2 executor model): explicit stages with pooled buffers and
+// a parallel executor between them. Each worker owns a recognizer.Scratch,
+// so the steady state performs no per-frame vision allocations; ordering is
+// restored per stream by sequence number, so parallelism never reorders one
+// source's results; and back-pressure is end-to-end — a stream bounds its
+// in-flight frames and a full worker queue blocks Submit, never a worker.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hdc/internal/raster"
+	"hdc/internal/recognizer"
+)
+
+// Config sizes the worker pool.
+type Config struct {
+	// Workers is the number of recognition goroutines (default
+	// runtime.NumCPU()).
+	Workers int
+	// QueueDepth is the capacity of the shared frame queue feeding the
+	// workers (default 2×Workers). A full queue blocks Submit.
+	QueueDepth int
+	// StreamWindow bounds each stream's in-flight frames — submitted but not
+	// yet delivered to its Results channel (default 2×Workers). The window
+	// is what keeps one unconsumed stream from buffering unboundedly while
+	// letting the pool stay busy.
+	StreamWindow int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.StreamWindow <= 0 {
+		c.StreamWindow = 2 * c.Workers
+	}
+	return c
+}
+
+// Errors returned by the pipeline.
+var (
+	ErrClosed       = errors.New("pipeline: closed")
+	ErrStreamClosed = errors.New("pipeline: stream closed")
+	ErrNilFrame     = errors.New("pipeline: nil frame")
+)
+
+// job is one frame travelling through the pool.
+type job struct {
+	st    *Stream
+	seq   uint64
+	frame *raster.Gray
+}
+
+// Pipeline is the worker pool. Construct with New, create one Stream per
+// frame source, and Close when done. All methods are safe for concurrent
+// use.
+type Pipeline struct {
+	cfg Config
+	rec *recognizer.Recognizer
+	in  chan job
+	wg  sync.WaitGroup
+
+	mu      sync.RWMutex // guards closed + streams; RLock spans queue sends
+	closed  bool
+	streams map[*Stream]struct{}
+}
+
+// New builds a pipeline over rec, whose reference database must already be
+// populated (the recogniser is documented concurrency-safe for recognition
+// after setup). The worker goroutines start immediately.
+func New(rec *recognizer.Recognizer, cfg Config) (*Pipeline, error) {
+	if rec == nil {
+		return nil, errors.New("pipeline: nil recognizer")
+	}
+	cfg = cfg.withDefaults()
+	p := &Pipeline{
+		cfg:     cfg,
+		rec:     rec,
+		in:      make(chan job, cfg.QueueDepth),
+		streams: make(map[*Stream]struct{}),
+	}
+	p.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go p.worker()
+	}
+	return p, nil
+}
+
+// Config returns the effective configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// worker is one recognition lane: it owns its scratch state for the life of
+// the pipeline and drains the shared queue.
+func (p *Pipeline) worker() {
+	defer p.wg.Done()
+	sc := recognizer.NewScratch()
+	for j := range p.in {
+		res, err := p.rec.RecognizeWith(sc, j.frame)
+		j.st.complete(j.seq, j.frame, res, err)
+	}
+}
+
+// enqueue places a job on the worker queue, failing once the pipeline is
+// closed. The read lock spans the send so Close cannot close the channel
+// under an in-flight send.
+func (p *Pipeline) enqueue(j job) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	p.in <- j
+	return nil
+}
+
+// NewStream registers a new frame source and returns its stream. Streams
+// are independent: each delivers its results in submission order on its own
+// Results channel regardless of how the pool interleaves the work.
+func (p *Pipeline) NewStream() (*Stream, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	st := newStream(p)
+	p.streams[st] = struct{}{}
+	go st.emit()
+	return st, nil
+}
+
+// Close shuts the pipeline down: further Submits fail with ErrClosed,
+// already-queued frames are recognised, every stream's Results channel is
+// closed after its in-flight frames drain, and the workers exit. Close
+// blocks until the workers have stopped and is idempotent.
+func (p *Pipeline) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.in)
+	open := make([]*Stream, 0, len(p.streams))
+	for st := range p.streams {
+		open = append(open, st)
+	}
+	p.mu.Unlock()
+
+	for _, st := range open {
+		st.Close()
+	}
+	p.wg.Wait()
+}
+
+// RecognizeBatch pushes a batch of frames through the pool and returns the
+// results in input order, with one error slot per frame (nil for an accepted
+// sign, recognizer.ErrNoSign or a vision error otherwise). It is the
+// synchronous convenience over a private stream; concurrent batches simply
+// share the pool.
+func (p *Pipeline) RecognizeBatch(frames []*raster.Gray) ([]recognizer.Result, []error, error) {
+	// Validate up front: a nil frame mid-batch would otherwise break the
+	// index↔sequence correspondence and surface as a misleading ErrClosed.
+	for _, f := range frames {
+		if f == nil {
+			return nil, nil, ErrNilFrame
+		}
+	}
+	results := make([]recognizer.Result, len(frames))
+	errs := make([]error, len(frames))
+	if len(frames) == 0 {
+		return results, errs, nil
+	}
+	st, err := p.NewStream()
+	if err != nil {
+		return nil, nil, err
+	}
+	go func() {
+		defer st.Close()
+		for _, f := range frames {
+			if err := st.Submit(f); err != nil {
+				return // remaining frames surface as ErrClosed below
+			}
+		}
+	}()
+	seen := make([]bool, len(frames))
+	for r := range st.Results() {
+		if r.Seq >= uint64(len(frames)) {
+			continue
+		}
+		results[r.Seq] = r.Res
+		errs[r.Seq] = r.Err
+		seen[r.Seq] = true
+	}
+	for i := range seen {
+		if !seen[i] {
+			errs[i] = ErrClosed
+		}
+	}
+	return results, errs, nil
+}
+
+// StreamResult is one delivered recognition: the submitted frame (returned
+// so callers can recycle pooled buffers), its sequence number within the
+// stream, and the recogniser's verdict.
+type StreamResult struct {
+	Seq   uint64
+	Frame *raster.Gray
+	Res   recognizer.Result
+	Err   error // nil, recognizer.ErrNoSign, a vision error, or ErrClosed
+}
+
+// Stream is one ordered frame source. Submit and Close are safe for
+// concurrent use, though a stream's ordering is only meaningful to whoever
+// chose the submission order.
+type Stream struct {
+	p *Pipeline
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  map[uint64]StreamResult
+	nextSeq  uint64 // next sequence number to assign
+	nextEmit uint64 // next sequence number to deliver
+	inflight int
+	closed   bool
+
+	out         chan StreamResult
+	abandoned   chan struct{} // closed by Abandon: drop undelivered results
+	abandonOnce sync.Once
+}
+
+func newStream(p *Pipeline) *Stream {
+	st := &Stream{
+		p:         p,
+		pending:   make(map[uint64]StreamResult),
+		out:       make(chan StreamResult, p.cfg.StreamWindow),
+		abandoned: make(chan struct{}),
+	}
+	st.cond = sync.NewCond(&st.mu)
+	return st
+}
+
+// Submit hands one frame to the pool. It blocks while the stream is at its
+// in-flight window or the worker queue is full (back-pressure), and fails
+// with ErrStreamClosed/ErrClosed once the stream or pipeline is closed. The
+// frame must not be mutated until it comes back in a StreamResult.
+func (s *Stream) Submit(frame *raster.Gray) error {
+	if frame == nil {
+		return ErrNilFrame
+	}
+	s.mu.Lock()
+	for s.inflight >= s.p.cfg.StreamWindow && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return ErrStreamClosed
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	s.inflight++
+	s.mu.Unlock()
+
+	if err := s.p.enqueue(job{st: s, seq: seq, frame: frame}); err != nil {
+		// The sequence number is already claimed; deliver the failure as a
+		// result so the stream's ordering has no hole.
+		s.complete(seq, frame, recognizer.Result{}, err)
+		return err
+	}
+	return nil
+}
+
+// Results is the stream's ordered delivery channel. It closes after Close
+// once every in-flight frame has been delivered. Consumers must either
+// drain the channel or call Abandon — a stream whose consumer silently
+// stops reading parks its delivery goroutine.
+func (s *Stream) Results() <-chan StreamResult { return s.out }
+
+// Close marks the stream complete: further Submits fail, and Results closes
+// once in-flight frames drain. Close never discards accepted work.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Abandon is Close for a consumer that is gone (a disconnected client):
+// undelivered and in-flight results are dropped instead of delivered, so
+// the stream's resources are released even though nobody reads Results.
+// The channel still closes once the drop-drain finishes.
+func (s *Stream) Abandon() {
+	s.abandonOnce.Do(func() { close(s.abandoned) })
+	s.Close()
+}
+
+// complete records one finished frame; called by workers and by Submit on
+// enqueue failure.
+func (s *Stream) complete(seq uint64, frame *raster.Gray, res recognizer.Result, err error) {
+	s.mu.Lock()
+	s.pending[seq] = StreamResult{Seq: seq, Frame: frame, Res: res, Err: err}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// emit is the stream's delivery goroutine: it waits for the next in-order
+// result and forwards it, so a slow consumer blocks only its own stream —
+// workers deposit into the pending map and move on. An Abandon unblocks the
+// send and turns the remaining deliveries into drops.
+func (s *Stream) emit() {
+	s.mu.Lock()
+	for {
+		if r, ok := s.pending[s.nextEmit]; ok {
+			delete(s.pending, s.nextEmit)
+			s.nextEmit++
+			s.mu.Unlock()
+			select {
+			case s.out <- r:
+			case <-s.abandoned:
+				// Consumer is gone; drop this and every later result.
+			}
+			s.mu.Lock()
+			s.inflight--
+			s.cond.Broadcast()
+			continue
+		}
+		if s.closed && s.inflight == 0 {
+			s.mu.Unlock()
+			close(s.out)
+			s.forget()
+			return
+		}
+		s.cond.Wait()
+	}
+}
+
+// forget deregisters the stream from its pipeline once fully drained.
+func (s *Stream) forget() {
+	s.p.mu.Lock()
+	delete(s.p.streams, s)
+	s.p.mu.Unlock()
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (p *Pipeline) String() string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return fmt.Sprintf("pipeline(workers=%d queue=%d/%d streams=%d closed=%v)",
+		p.cfg.Workers, len(p.in), cap(p.in), len(p.streams), p.closed)
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 )
 
 // Gray is an 8-bit grayscale image with row-major pixels. Pixel (x, y) is
@@ -45,6 +46,57 @@ func (g *Gray) Clone() *Gray {
 	out := &Gray{W: g.W, H: g.H, Pix: make([]uint8, len(g.Pix))}
 	copy(out.Pix, g.Pix)
 	return out
+}
+
+// Reset resizes g to w×h, reusing the pixel buffer when its capacity allows,
+// and leaves every pixel at 0 (black). It is the reusable-buffer counterpart
+// of NewGray for pooled frame buffers.
+func (g *Gray) Reset(w, h int) error {
+	if w <= 0 || h <= 0 {
+		return fmt.Errorf("%w: %dx%d", ErrBadSize, w, h)
+	}
+	n := w * h
+	if cap(g.Pix) < n {
+		g.Pix = make([]uint8, n)
+	} else {
+		g.Pix = g.Pix[:n]
+		for i := range g.Pix {
+			g.Pix[i] = 0
+		}
+	}
+	g.W, g.H = w, h
+	return nil
+}
+
+// Resize reslices g to w×h, reusing the pixel buffer when capacity allows,
+// WITHOUT clearing — the surviving contents are undefined. It is the cheap
+// sibling of Reset for callers about to overwrite every pixel anyway (a
+// full-frame Fill or copy).
+func (g *Gray) Resize(w, h int) error {
+	if w <= 0 || h <= 0 {
+		return fmt.Errorf("%w: %dx%d", ErrBadSize, w, h)
+	}
+	n := w * h
+	if cap(g.Pix) < n {
+		g.Pix = make([]uint8, n)
+	} else {
+		g.Pix = g.Pix[:n]
+	}
+	g.W, g.H = w, h
+	return nil
+}
+
+// CloneInto copies g into dst (resizing dst as needed) and returns dst.
+// A nil dst allocates, making CloneInto(nil) equivalent to Clone.
+func (g *Gray) CloneInto(dst *Gray) *Gray {
+	if dst == nil {
+		return g.Clone()
+	}
+	if err := dst.Resize(g.W, g.H); err != nil {
+		return g.Clone()
+	}
+	copy(dst.Pix, g.Pix)
+	return dst
 }
 
 // In reports whether (x, y) lies inside the image.
@@ -200,14 +252,35 @@ func (g *Gray) StrokeLine(x0, y0, x1, y1, halfWidth float64, v uint8) {
 	g.FillDisc(x1, y1, halfWidth, v)
 }
 
+// blurScratchPool recycles the two float planes BoxBlur needs; a full-frame
+// blur would otherwise allocate ~16 bytes per pixel on every rendered frame.
+var blurScratchPool = sync.Pool{New: func() any { return new(blurScratch) }}
+
+type blurScratch struct {
+	tmp, cur []float64
+}
+
+func (s *blurScratch) ensure(n int) {
+	if cap(s.tmp) < n {
+		s.tmp = make([]float64, n)
+		s.cur = make([]float64, n)
+	}
+	s.tmp = s.tmp[:n]
+	s.cur = s.cur[:n]
+}
+
 // BoxBlur applies an iterated box filter with the given radius; three
-// iterations approximate a Gaussian. radius <= 0 is a no-op.
+// iterations approximate a Gaussian. radius <= 0 is a no-op. Scratch planes
+// come from an internal pool, so steady-state calls do not allocate.
 func (g *Gray) BoxBlur(radius, iterations int) {
 	if radius <= 0 || iterations <= 0 {
 		return
 	}
-	tmp := make([]float64, len(g.Pix))
-	cur := make([]float64, len(g.Pix))
+	scratch := blurScratchPool.Get().(*blurScratch)
+	defer blurScratchPool.Put(scratch)
+	scratch.ensure(len(g.Pix))
+	tmp := scratch.tmp
+	cur := scratch.cur
 	for i, p := range g.Pix {
 		cur[i] = float64(p)
 	}

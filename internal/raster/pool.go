@@ -1,0 +1,35 @@
+package raster
+
+import "sync"
+
+// Pool recycles Gray frame buffers across goroutines. It backs the streaming
+// recognition pipeline, where every frame would otherwise allocate a fresh
+// pixel buffer: producers Get a frame, the renderer draws into it, and the
+// consumer Puts it back once the recognition result is out. The zero value is
+// ready to use.
+type Pool struct {
+	p sync.Pool
+}
+
+// Get returns a w×h frame with every pixel 0, reusing a pooled buffer when
+// one of sufficient capacity is available. Invalid dimensions return nil.
+func (p *Pool) Get(w, h int) *Gray {
+	g, _ := p.p.Get().(*Gray)
+	if g == nil {
+		g = &Gray{}
+	}
+	if err := g.Reset(w, h); err != nil {
+		p.p.Put(g)
+		return nil
+	}
+	return g
+}
+
+// Put returns a frame to the pool. Nil frames are ignored. The caller must
+// not use g afterwards.
+func (p *Pool) Put(g *Gray) {
+	if g == nil {
+		return
+	}
+	p.p.Put(g)
+}

@@ -96,11 +96,28 @@ type Result struct {
 // Recognizer binds a SAX database of reference signs to the vision
 // pipeline. Build one with New and populate it with BuildReferences (or
 // AddReference for custom exemplars).
+//
+// Concurrency: the configuration is immutable after New, and the reference
+// database guards itself, so Recognize/RecognizeWith/RecognizeInto may be
+// called from any number of goroutines once the references are built. The
+// setup calls — BuildReferences, AddReference, LoadReferences — must complete
+// before (or be externally serialised with) concurrent recognition.
 type Recognizer struct {
 	cfg Config
 	db  *sax.Database
 	enc *sax.Encoder
 }
+
+// Scratch holds the per-worker reusable state of one recognition lane: the
+// vision buffers that would otherwise be reallocated every frame. Each worker
+// goroutine owns one Scratch; the zero-configuration way to get one is
+// NewScratch.
+type Scratch struct {
+	v *vision.Scratch
+}
+
+// NewScratch returns a fresh recognition scratch.
+func NewScratch() *Scratch { return &Scratch{v: vision.NewScratch()} }
 
 // New constructs a recognizer with an empty reference database.
 func New(cfg Config) (*Recognizer, error) {
@@ -207,21 +224,57 @@ func (r *Recognizer) signatureOf(mask *vision.Binary) (timeseries.Series, vision
 var ErrNoSign = errors.New("recognizer: no sign recognised")
 
 // Recognize runs the full pipeline over one frame, returning the match (or
-// ErrNoSign with diagnostics in Result). All stages are timed.
+// ErrNoSign with diagnostics in Result). All stages are timed. Scratch
+// buffers come from a shared pool; workers that process frames in a loop
+// should hold their own Scratch and call RecognizeWith instead.
 func (r *Recognizer) Recognize(frame *raster.Gray) (Result, error) {
+	vs := vision.GetScratch()
+	defer vision.PutScratch(vs)
+	return r.recognize(vs, frame)
+}
+
+// RecognizeWith is Recognize using the caller's per-worker scratch state, the
+// steady-state-allocation-free path of the streaming pipeline. The returned
+// Result is independent of the scratch and safe to retain.
+func (r *Recognizer) RecognizeWith(sc *Scratch, frame *raster.Gray) (Result, error) {
+	if sc == nil {
+		return r.Recognize(frame)
+	}
+	return r.recognize(sc.v, frame)
+}
+
+// RecognizeInto is the batch API: it recognises frames[i] into dst[i],
+// reusing sc across the batch, and returns one error per frame (nil on an
+// accepted sign, ErrNoSign or a vision error otherwise — matching what
+// Recognize would have returned). dst must be at least as long as frames.
+func (r *Recognizer) RecognizeInto(sc *Scratch, frames []*raster.Gray, dst []Result) []error {
+	if len(dst) < len(frames) {
+		panic("recognizer: RecognizeInto dst shorter than frames")
+	}
+	if sc == nil {
+		sc = NewScratch()
+	}
+	errs := make([]error, len(frames))
+	for i, f := range frames {
+		dst[i], errs[i] = r.recognize(sc.v, f)
+	}
+	return errs
+}
+
+// recognize is the shared implementation behind Recognize and its variants.
+func (r *Recognizer) recognize(vs *vision.Scratch, frame *raster.Gray) (Result, error) {
 	var res Result
 	t0 := time.Now()
 
-	mask := vision.OtsuBinarize(frame)
+	mask := vs.Binarize(frame)
 	t1 := time.Now()
 	res.Timings.Threshold = t1.Sub(t0)
 
-	mask = vision.Open(mask, r.cfg.MorphRadius)
-	mask = vision.Close(mask, r.cfg.MorphRadius)
+	mask = vs.Clean(mask, r.cfg.MorphRadius)
 	t2 := time.Now()
 	res.Timings.Morph = t2.Sub(t1)
 
-	sig, _, comp, err := r.signatureOf(mask)
+	sig, _, comp, err := vs.ExtractSignatureNorm(mask, r.cfg.SignatureLen, r.cfg.Normalize)
 	t3 := time.Now()
 	res.Timings.Contour = t3.Sub(t2)
 	if err != nil {
@@ -229,9 +282,12 @@ func (r *Recognizer) Recognize(frame *raster.Gray) (Result, error) {
 		return res, fmt.Errorf("recognizer: %w", err)
 	}
 	res.Area = comp.Area
-	res.Signature = sig.ZNormalize()
+	// The scratch-owned signature is normalised into a fresh series: the
+	// Result escapes the worker, the scratch does not.
+	z := sig.ZNormalize()
+	res.Signature = z
 
-	word, err := r.enc.Encode(sig)
+	word, err := r.enc.EncodeZ(z)
 	t4 := time.Now()
 	res.Timings.Encode = t4.Sub(t3)
 	if err != nil {
@@ -240,7 +296,7 @@ func (r *Recognizer) Recognize(frame *raster.Gray) (Result, error) {
 	}
 	res.Word = word
 
-	match, lerr := r.db.Lookup(sig, r.cfg.Threshold)
+	match, lerr := r.db.LookupZ(z, word, r.cfg.Threshold)
 	t5 := time.Now()
 	res.Timings.Match = t5.Sub(t4)
 	res.Timings.Total = t5.Sub(t0)

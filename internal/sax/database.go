@@ -17,6 +17,13 @@ type Entry struct {
 	Label  string
 	Word   Word
 	Series timeseries.Series // z-normalised reference signature
+
+	// revSeries and revWord cache the mirrored candidate (reversed, rotated
+	// by one so a pure reflection sits at shift 0 — see
+	// timeseries.MinRotationMirrorDistWindow), sparing every lookup the
+	// mirror allocation per entry.
+	revSeries timeseries.Series
+	revWord   Word
 }
 
 // Match is the result of a database lookup.
@@ -114,8 +121,19 @@ func (db *Database) Add(label string, s timeseries.Series) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.entries = append(db.entries, Entry{Label: label, Word: w, Series: z})
+	db.entries = append(db.entries, newEntry(label, w, z))
 	return nil
+}
+
+// newEntry builds an entry with its mirrored candidate precomputed.
+func newEntry(label string, w Word, z timeseries.Series) Entry {
+	return Entry{
+		Label:     label,
+		Word:      w,
+		Series:    z,
+		revSeries: z.Reverse().Rotate(-1),
+		revWord:   w.Reverse().Rotate(-1),
+	}
 }
 
 // Entries returns a copy of the registered entries, sorted by label then
@@ -149,29 +167,41 @@ func (db *Database) Lookup(q timeseries.Series, threshold float64) (Match, error
 	if err != nil {
 		return Match{}, err
 	}
+	return db.LookupZ(z, qw, threshold)
+}
 
+// LookupZ is Lookup for a query already resampled to the canonical length
+// and z-normalised, with its word precomputed — the recogniser's hot path,
+// which has both at hand and skips the re-preparation Lookup performs. The
+// scan holds the database read lock, so concurrent LookupZ calls proceed in
+// parallel while Add blocks until they finish.
+func (db *Database) LookupZ(z timeseries.Series, qw Word, threshold float64) (Match, error) {
 	db.mu.RLock()
-	entries := make([]Entry, len(db.entries))
-	copy(entries, db.entries)
-	wordWin, seriesWin := db.wordShift(), db.seriesShift()
-	db.mu.RUnlock()
+	defer db.mu.RUnlock()
 
-	if len(entries) == 0 {
+	if len(db.entries) == 0 {
 		return Match{}, ErrNoMatch
 	}
+	wordWin, seriesWin := db.wordShift(), db.seriesShift()
 
 	// Stage 1: MINDIST (rotation+mirror minimised) lower bound per entry.
 	type cand struct {
-		e  Entry
-		lb float64
+		idx int
+		lb  float64
 	}
-	cands := make([]cand, 0, len(entries))
-	for _, e := range entries {
-		lb, _, _, err := db.enc.MinDistRotationMirrorWindow(qw, e.Word, db.n, wordWin)
+	cands := make([]cand, 0, len(db.entries))
+	for i := range db.entries {
+		e := &db.entries[i]
+		lb, _, err := db.enc.MinDistRotationWindow(qw, e.Word, db.n, wordWin)
 		if err != nil {
 			return Match{}, err
 		}
-		cands = append(cands, cand{e: e, lb: lb})
+		if lbRev, _, err := db.enc.MinDistRotationWindow(qw, e.revWord, db.n, wordWin); err != nil {
+			return Match{}, err
+		} else if lbRev < lb {
+			lb = lbRev
+		}
+		cands = append(cands, cand{idx: i, lb: lb})
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].lb < cands[j].lb })
 
@@ -183,14 +213,21 @@ func (db *Database) Lookup(q timeseries.Series, threshold float64) (Match, error
 		if c.lb >= best.Dist {
 			break
 		}
-		d, shift, mirrored, err := timeseries.MinRotationMirrorDistWindow(z, c.e.Series, seriesWin)
+		e := &db.entries[c.idx]
+		d, shift, err := timeseries.MinRotationDistWindow(z, e.Series, seriesWin)
 		if err != nil {
 			return Match{}, err
 		}
+		mirrored := false
+		if dRev, sRev, err := timeseries.MinRotationDistWindow(z, e.revSeries, seriesWin); err != nil {
+			return Match{}, err
+		} else if dRev < d {
+			d, shift, mirrored = dRev, sRev, true
+		}
 		if d < best.Dist {
 			best = Match{
-				Label:    c.e.Label,
-				Word:     c.e.Word,
+				Label:    e.Label,
+				Word:     e.Word,
 				WordDist: c.lb,
 				Dist:     d,
 				Shift:    shift,

@@ -95,7 +95,7 @@ func Load(r io.Reader) (*Database, error) {
 				i, e.Word, w.Symbols)
 		}
 		db.mu.Lock()
-		db.entries = append(db.entries, Entry{Label: e.Label, Word: w, Series: s.Clone()})
+		db.entries = append(db.entries, newEntry(e.Label, w, s.Clone()))
 		db.mu.Unlock()
 	}
 	if db.Len() == 0 {

@@ -1,0 +1,91 @@
+package sax
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hdc/internal/timeseries"
+)
+
+// TestDatabaseConcurrentLookupAdd exercises the database under the
+// streaming pipeline's access pattern: many workers issuing Lookup/LookupZ
+// while exemplars are registered concurrently. Run with -race; the
+// assertions also catch lost entries and torn matches without it.
+func TestDatabaseConcurrentLookupAdd(t *testing.T) {
+	enc, err := NewEncoder(16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDatabase(enc, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mkSeries := func(seed int64) timeseries.Series {
+		rng := rand.New(rand.NewSource(seed))
+		s := make(timeseries.Series, 128)
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		return s
+	}
+	// Seed a few entries so lookups always have candidates.
+	for i := 0; i < 4; i++ {
+		if err := db.Add(fmt.Sprintf("seed-%d", i), mkSeries(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const lookupWorkers = 6
+	const adders = 2
+	const perWorker = 60
+
+	var wg sync.WaitGroup
+	for w := 0; w < lookupWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			q := mkSeries(int64(100 + w))
+			z := q.ZNormalize()
+			qw, err := enc.Encode(z)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < perWorker; i++ {
+				if m, err := db.Lookup(q, 1e9); err != nil {
+					t.Errorf("lookup: %v", err)
+					return
+				} else if m.Label == "" {
+					t.Error("lookup returned empty label under huge threshold")
+					return
+				}
+				if _, err := db.LookupZ(z, qw, 1e9); err != nil {
+					t.Errorf("lookupZ: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for a := 0; a < adders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				label := fmt.Sprintf("dyn-%d-%d", a, i)
+				if err := db.Add(label, mkSeries(int64(1000+a*perWorker+i))); err != nil {
+					t.Errorf("add: %v", err)
+					return
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+
+	want := 4 + adders*perWorker
+	if got := db.Len(); got != want {
+		t.Fatalf("entries lost: %d, want %d", got, want)
+	}
+}

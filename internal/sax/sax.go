@@ -200,6 +200,31 @@ func (e *Encoder) Encode(s timeseries.Series) (Word, error) {
 	return e.EncodePAA(paa), nil
 }
 
+// EncodeZ symbolises a series that is already z-normalised and at least
+// segment-count long, skipping the renormalisation Encode performs. It is the
+// hot-path variant used by the recogniser, whose query signatures are
+// normalised once and reused for both encoding and database lookup.
+func (e *Encoder) EncodeZ(z timeseries.Series) (Word, error) {
+	if len(z) == 0 {
+		return Word{}, timeseries.ErrEmpty
+	}
+	if len(z) < e.segments {
+		rs, err := z.ResampleLinear(e.segments)
+		if err != nil {
+			return Word{}, err
+		}
+		// Interpolation shrinks the variance, so renormalise before cutting
+		// against the N(0,1) breakpoints — keeping EncodeZ ≡ Encode on the
+		// degenerate short-series branch too.
+		z = rs.ZNormalize()
+	}
+	paa, err := z.PAA(e.segments)
+	if err != nil {
+		return Word{}, err
+	}
+	return e.EncodePAA(paa), nil
+}
+
 // EncodePAA symbolises an already z-normalised, PAA-reduced series.
 func (e *Encoder) EncodePAA(paa timeseries.Series) Word {
 	var sb strings.Builder
@@ -239,36 +264,46 @@ func (e *Encoder) MinDistRotation(w, v Word, n int) (best float64, shift int, er
 }
 
 // MinDistRotationWindow is MinDistRotation with the rotation search limited
-// to ±maxShift word positions (maxShift < 0 searches all rotations).
+// to ±maxShift word positions (maxShift < 0 searches all rotations). The
+// rotations are evaluated by index offset, so the search allocates nothing.
 func (e *Encoder) MinDistRotationWindow(w, v Word, n, maxShift int) (best float64, shift int, err error) {
 	m := len(v.Symbols)
 	if m == 0 {
 		return 0, 0, ErrEmptyWord
 	}
+	if w.Alphabet != e.alphabet || v.Alphabet != e.alphabet ||
+		len(w.Symbols) != e.segments || len(v.Symbols) != e.segments {
+		return 0, 0, ErrWordMismatch
+	}
 	if maxShift < 0 || maxShift >= m/2 {
 		maxShift = m / 2
 	}
+	nn := n
+	if nn < e.segments {
+		nn = e.segments
+	}
+	scale := math.Sqrt(float64(nn) / float64(e.segments))
 	best = math.Inf(1)
-	try := func(k int) error {
+	try := func(k int) {
 		kk := ((k % m) + m) % m
-		d, derr := e.MinDist(w, v.Rotate(kk), n)
-		if derr != nil {
-			return derr
+		var ss float64
+		for i := 0; i < m; i++ {
+			j := i + kk
+			if j >= m {
+				j -= m
+			}
+			d := e.cells[w.Symbols[i]-'a'][v.Symbols[j]-'a']
+			ss += d * d
 		}
-		if d < best {
+		if d := scale * math.Sqrt(ss); d < best {
 			best = d
 			shift = kk
 		}
-		return nil
 	}
 	for k := 0; k <= maxShift; k++ {
-		if err := try(k); err != nil {
-			return 0, 0, err
-		}
+		try(k)
 		if k != 0 {
-			if err := try(-k); err != nil {
-				return 0, 0, err
-			}
+			try(-k)
 		}
 	}
 	return best, shift, nil

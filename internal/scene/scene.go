@@ -83,8 +83,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Renderer draws signaller frames. Safe for sequential reuse; not
-// goroutine-safe (each goroutine should own a Renderer).
+// Renderer draws signaller frames. The renderer itself is stateless beyond
+// its immutable configuration, so one Renderer may serve any number of
+// goroutines concurrently — each call draws into its own frame (or the
+// caller-provided one for the Into variants) and randomness flows only
+// through the rng argument, which must not be shared between goroutines.
 type Renderer struct {
 	cfg Config
 }
@@ -105,6 +108,14 @@ var ErrNotVisible = errors.New("scene: signaller outside the frame")
 // Render draws the posed signaller from the given view. rng may be nil for a
 // clean (noise-free, clutter-free) frame.
 func (r *Renderer) Render(sign body.Sign, v View, opts body.Options, rng *rand.Rand) (*raster.Gray, error) {
+	return r.RenderInto(nil, sign, v, opts, rng)
+}
+
+// RenderInto is Render drawing into dst (resized as needed), the
+// reusable-buffer path of the streaming pipeline: producers pull frames from
+// a raster.Pool, render into them and submit them downstream. A nil dst
+// allocates, making RenderInto(nil, ...) equivalent to Render.
+func (r *Renderer) RenderInto(dst *raster.Gray, sign body.Sign, v View, opts body.Options, rng *rand.Rand) (*raster.Gray, error) {
 	if err := v.Validate(); err != nil {
 		return nil, err
 	}
@@ -112,7 +123,7 @@ func (r *Renderer) Render(sign body.Sign, v View, opts body.Options, rng *rand.R
 	if err != nil {
 		return nil, err
 	}
-	return r.RenderFigure(fig, v, rng)
+	return r.RenderFiguresInto(dst, []body.Figure{fig}, v, rng)
 }
 
 // RenderFigure draws an explicit figure (already posed/jittered) from the
@@ -126,6 +137,12 @@ func (r *Renderer) RenderFigure(fig body.Figure, v View, rng *rand.Rand) (*raste
 // bystanders translated elsewhere — see body.Figure.Translate). At least
 // one figure must be visible.
 func (r *Renderer) RenderFigures(figs []body.Figure, v View, rng *rand.Rand) (*raster.Gray, error) {
+	return r.RenderFiguresInto(nil, figs, v, rng)
+}
+
+// RenderFiguresInto is RenderFigures drawing into dst (resized as needed); a
+// nil dst allocates.
+func (r *Renderer) RenderFiguresInto(dst *raster.Gray, figs []body.Figure, v View, rng *rand.Rand) (*raster.Gray, error) {
 	if err := v.Validate(); err != nil {
 		return nil, err
 	}
@@ -133,8 +150,16 @@ func (r *Renderer) RenderFigures(figs []body.Figure, v View, rng *rand.Rand) (*r
 		return nil, errors.New("scene: no figures")
 	}
 	cfg := r.cfg
-	img, err := raster.NewGray(cfg.Width, cfg.Height)
-	if err != nil {
+	img := dst
+	if img == nil {
+		var err error
+		img, err = raster.NewGray(cfg.Width, cfg.Height)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := img.Resize(cfg.Width, cfg.Height); err != nil {
+		// Resize (not Reset): the Fill below overwrites every pixel, so
+		// clearing first would be a wasted full-frame pass.
 		return nil, err
 	}
 	img.Fill(cfg.Background)

@@ -31,10 +31,17 @@ var mooreOffsets = [8]Point{
 // its component) using Moore-neighbour tracing with Jacob's stopping
 // criterion.
 func TraceContour(b *Binary, start Point) (Contour, error) {
+	return TraceContourInto(b, start, nil)
+}
+
+// TraceContourInto is TraceContour appending into buf (reset to length zero
+// first), so steady-state callers reuse one backing array. The returned
+// contour aliases buf's storage when capacity sufficed.
+func TraceContourInto(b *Binary, start Point, buf Contour) (Contour, error) {
 	if b.At(start.X, start.Y) == 0 {
 		return nil, errors.New("vision: start pixel is background")
 	}
-	contour := Contour{start}
+	contour := append(buf[:0], start)
 	// Entered the start pixel from the west (since it is topmost-leftmost,
 	// its west neighbour is background).
 	backtrack := 0 // index into mooreOffsets of the background neighbour we came from
@@ -156,19 +163,50 @@ func (c Contour) SignatureWhitened(n int) (timeseries.Series, error) {
 
 // SignatureNorm computes the signature under an explicit normalisation mode.
 func (c Contour) SignatureNorm(n int, mode Normalization) (timeseries.Series, error) {
+	return c.signatureScratch(n, mode, nil)
+}
+
+// growF reslices buf to n elements, reallocating only when capacity is short.
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// signatureScratch is SignatureNorm drawing its float planes and output from
+// s when s is non-nil (the returned series then aliases s.sig and is only
+// valid until the next use of s).
+func (c Contour) signatureScratch(n int, mode Normalization, s *Scratch) (timeseries.Series, error) {
 	if len(c) == 0 {
 		return nil, ErrEmptyImage
 	}
 	if n < 1 {
 		return nil, errors.New("vision: signature length < 1")
 	}
+	zeros := func() timeseries.Series {
+		if s == nil {
+			return make(timeseries.Series, n)
+		}
+		s.sig = timeseries.Series(growF([]float64(s.sig), n))
+		for i := range s.sig {
+			s.sig[i] = 0
+		}
+		return s.sig
+	}
 	if len(c) == 1 {
-		out := make(timeseries.Series, n)
-		return out, nil
+		return zeros(), nil
 	}
 	m := len(c)
-	fx := make([]float64, m)
-	fy := make([]float64, m)
+	var fx, fy []float64
+	if s == nil {
+		fx = make([]float64, m)
+		fy = make([]float64, m)
+	} else {
+		s.fx = growF(s.fx, m)
+		s.fy = growF(s.fy, m)
+		fx, fy = s.fx, s.fy
+	}
 	for i, p := range c {
 		fx[i] = float64(p.X)
 		fy[i] = float64(p.Y)
@@ -193,20 +231,32 @@ func (c Contour) SignatureNorm(n int, mode Normalization) (timeseries.Series, er
 
 	// Cumulative arc length per vertex (in the normalised space, so
 	// resampling density follows the shape actually being measured).
-	arc := make([]float64, m+1)
+	var arc []float64
+	if s == nil {
+		arc = make([]float64, m+1)
+	} else {
+		s.arc = growF(s.arc, m+1)
+		arc = s.arc
+	}
+	arc[0] = 0
 	for i := 0; i < m; i++ {
 		j := (i + 1) % m
 		arc[i+1] = arc[i] + math.Hypot(fx[j]-fx[i], fy[j]-fy[i])
 	}
 	total := arc[m]
 	if total == 0 {
-		out := make(timeseries.Series, n)
-		return out, nil
+		return zeros(), nil
 	}
 	dist := func(i int) float64 {
 		return math.Hypot(fx[i]-cx, fy[i]-cy)
 	}
-	out := make(timeseries.Series, n)
+	var out timeseries.Series
+	if s == nil {
+		out = make(timeseries.Series, n)
+	} else {
+		s.sig = timeseries.Series(growF([]float64(s.sig), n))
+		out = s.sig
+	}
 	seg := 0
 	for i := 0; i < n; i++ {
 		target := total * float64(i) / float64(n)

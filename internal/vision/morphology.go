@@ -2,19 +2,39 @@ package vision
 
 // morphology.go implements binary erosion/dilation with a square structuring
 // element plus the derived open/close operators used to clean up thresholded
-// silhouettes before contour tracing.
+// silhouettes before contour tracing. Every operator has an Into variant that
+// writes into caller-provided buffers so the recognition hot path can run
+// without per-frame allocations (see Scratch).
+
+// resize reslices b to w×h without clearing; callers must write every pixel.
+func (b *Binary) resize(w, h int) {
+	n := w * h
+	if cap(b.Pix) < n {
+		b.Pix = make([]uint8, n)
+	} else {
+		b.Pix = b.Pix[:n]
+	}
+	b.W, b.H = w, h
+}
 
 // Dilate returns b dilated by a (2r+1)×(2r+1) square structuring element.
 func Dilate(b *Binary, r int) *Binary {
+	return DilateInto(NewBinary(b.W, b.H), b, r, NewBinary(b.W, b.H))
+}
+
+// DilateInto dilates src into dst using tmp as scratch for the horizontal
+// pass. dst may alias src; tmp must be distinct from both. All buffers are
+// resized as needed and dst is returned.
+func DilateInto(dst, src *Binary, r int, tmp *Binary) *Binary {
 	if r <= 0 {
-		return b.Clone()
+		return src.CopyInto(dst)
 	}
 	// Two-pass separable dilation: horizontal then vertical runs.
-	tmp := NewBinary(b.W, b.H)
-	for y := 0; y < b.H; y++ {
-		row := y * b.W
-		for x := 0; x < b.W; x++ {
-			if b.Pix[row+x] == 0 {
+	tmp.Reset(src.W, src.H)
+	for y := 0; y < src.H; y++ {
+		row := y * src.W
+		for x := 0; x < src.W; x++ {
+			if src.Pix[row+x] == 0 {
 				continue
 			}
 			lo := x - r
@@ -22,18 +42,19 @@ func Dilate(b *Binary, r int) *Binary {
 				lo = 0
 			}
 			hi := x + r
-			if hi >= b.W {
-				hi = b.W - 1
+			if hi >= src.W {
+				hi = src.W - 1
 			}
 			for i := lo; i <= hi; i++ {
 				tmp.Pix[row+i] = 1
 			}
 		}
 	}
-	out := NewBinary(b.W, b.H)
-	for x := 0; x < b.W; x++ {
-		for y := 0; y < b.H; y++ {
-			if tmp.Pix[y*b.W+x] == 0 {
+	// src is no longer read, so dst == src is safe from here on.
+	dst.Reset(tmp.W, tmp.H)
+	for x := 0; x < tmp.W; x++ {
+		for y := 0; y < tmp.H; y++ {
+			if tmp.Pix[y*tmp.W+x] == 0 {
 				continue
 			}
 			lo := y - r
@@ -41,72 +62,105 @@ func Dilate(b *Binary, r int) *Binary {
 				lo = 0
 			}
 			hi := y + r
-			if hi >= b.H {
-				hi = b.H - 1
+			if hi >= tmp.H {
+				hi = tmp.H - 1
 			}
 			for j := lo; j <= hi; j++ {
-				out.Pix[j*b.W+x] = 1
+				dst.Pix[j*tmp.W+x] = 1
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // Erode returns b eroded by a (2r+1)×(2r+1) square structuring element.
 // Outside the image counts as foreground (replicated border, as in OpenCV),
 // which keeps Close extensive (Close(b) ⊇ b) everywhere including borders.
 func Erode(b *Binary, r int) *Binary {
+	return ErodeInto(NewBinary(b.W, b.H), b, r, NewBinary(b.W, b.H))
+}
+
+// ErodeInto erodes src into dst using tmp as scratch for the horizontal
+// pass. dst may alias src; tmp must be distinct from both. All buffers are
+// resized as needed and dst is returned.
+func ErodeInto(dst, src *Binary, r int, tmp *Binary) *Binary {
 	if r <= 0 {
-		return b.Clone()
+		return src.CopyInto(dst)
 	}
 	// Separable erosion via sliding background count: a pixel survives a
-	// pass iff its clipped window contains no background.
-	tmp := NewBinary(b.W, b.H)
-	for y := 0; y < b.H; y++ {
-		row := y * b.W
+	// pass iff its clipped window contains no background. Both passes write
+	// every pixel, so the scratch buffers need no clearing.
+	tmp.resize(src.W, src.H)
+	for y := 0; y < src.H; y++ {
+		row := y * src.W
 		bg := 0
-		for x := 0; x <= r && x < b.W; x++ {
-			if b.Pix[row+x] == 0 {
+		for x := 0; x <= r && x < src.W; x++ {
+			if src.Pix[row+x] == 0 {
 				bg++
 			}
 		}
-		for x := 0; x < b.W; x++ {
+		for x := 0; x < src.W; x++ {
 			if bg == 0 {
 				tmp.Pix[row+x] = 1
+			} else {
+				tmp.Pix[row+x] = 0
 			}
-			if add := x + r + 1; add < b.W && b.Pix[row+add] == 0 {
+			if add := x + r + 1; add < src.W && src.Pix[row+add] == 0 {
 				bg++
 			}
-			if del := x - r; del >= 0 && b.Pix[row+del] == 0 {
+			if del := x - r; del >= 0 && src.Pix[row+del] == 0 {
 				bg--
 			}
 		}
 	}
-	out := NewBinary(b.W, b.H)
-	for x := 0; x < b.W; x++ {
+	// src is no longer read, so dst == src is safe from here on.
+	dst.resize(tmp.W, tmp.H)
+	for x := 0; x < tmp.W; x++ {
 		bg := 0
-		for y := 0; y <= r && y < b.H; y++ {
-			if tmp.Pix[y*b.W+x] == 0 {
+		for y := 0; y <= r && y < tmp.H; y++ {
+			if tmp.Pix[y*tmp.W+x] == 0 {
 				bg++
 			}
 		}
-		for y := 0; y < b.H; y++ {
+		for y := 0; y < tmp.H; y++ {
 			if bg == 0 {
-				out.Pix[y*b.W+x] = 1
+				dst.Pix[y*tmp.W+x] = 1
+			} else {
+				dst.Pix[y*tmp.W+x] = 0
 			}
-			if add := y + r + 1; add < b.H && tmp.Pix[add*b.W+x] == 0 {
+			if add := y + r + 1; add < tmp.H && tmp.Pix[add*tmp.W+x] == 0 {
 				bg++
 			}
-			if del := y - r; del >= 0 && tmp.Pix[del*b.W+x] == 0 {
+			if del := y - r; del >= 0 && tmp.Pix[del*tmp.W+x] == 0 {
 				bg--
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // Open erodes then dilates: removes speckle smaller than the element.
 func Open(b *Binary, r int) *Binary { return Dilate(Erode(b, r), r) }
 
+// OpenInto is Open writing into dst with two scratch buffers. dst may alias
+// src; tmpA and tmpB must be distinct from each other, dst and src.
+func OpenInto(dst, src *Binary, r int, tmpA, tmpB *Binary) *Binary {
+	if r <= 0 {
+		return src.CopyInto(dst)
+	}
+	ErodeInto(tmpB, src, r, tmpA)
+	return DilateInto(dst, tmpB, r, tmpA)
+}
+
 // Close dilates then erodes: fills holes/gaps smaller than the element.
 func Close(b *Binary, r int) *Binary { return Erode(Dilate(b, r), r) }
+
+// CloseInto is Close writing into dst with two scratch buffers. dst may alias
+// src; tmpA and tmpB must be distinct from each other, dst and src.
+func CloseInto(dst, src *Binary, r int, tmpA, tmpB *Binary) *Binary {
+	if r <= 0 {
+		return src.CopyInto(dst)
+	}
+	DilateInto(tmpB, src, r, tmpA)
+	return ErodeInto(dst, tmpB, r, tmpA)
+}

@@ -64,6 +64,36 @@ func (b *Binary) Clone() *Binary {
 	return out
 }
 
+// Reset resizes b to w×h, reusing the pixel buffer when capacity allows, and
+// clears every pixel to background. It is the reusable-buffer counterpart of
+// NewBinary; the in-place morphology and thresholding variants build on it.
+func (b *Binary) Reset(w, h int) {
+	n := w * h
+	if cap(b.Pix) < n {
+		b.Pix = make([]uint8, n)
+	} else {
+		b.Pix = b.Pix[:n]
+		for i := range b.Pix {
+			b.Pix[i] = 0
+		}
+	}
+	b.W, b.H = w, h
+}
+
+// CopyInto copies b into dst (resizing as needed) and returns dst. A nil dst
+// allocates, making CopyInto(nil) equivalent to Clone.
+func (b *Binary) CopyInto(dst *Binary) *Binary {
+	if dst == nil {
+		return b.Clone()
+	}
+	if dst == b {
+		return dst
+	}
+	dst.resize(b.W, b.H)
+	copy(dst.Pix, b.Pix)
+	return dst
+}
+
 // OtsuThreshold computes Otsu's optimal global threshold for g: the
 // intensity that maximises between-class variance of the histogram.
 func OtsuThreshold(g *raster.Gray) uint8 {
@@ -119,11 +149,27 @@ func Threshold(g *raster.Gray, t uint8, brightForeground bool) *Binary {
 // yields the smaller foreground (the signaller occupies a minority of the
 // frame in the paper's setup).
 func OtsuBinarize(g *raster.Gray) *Binary {
+	return OtsuBinarizeInto(NewBinary(g.W, g.H), g)
+}
+
+// OtsuBinarizeInto is OtsuBinarize writing the mask into dst (resized as
+// needed) instead of allocating. It decides the polarity from the histogram
+// alone, so no intermediate mask is built. dst must not be nil.
+func OtsuBinarizeInto(dst *Binary, g *raster.Gray) *Binary {
 	t := OtsuThreshold(g)
-	bright := Threshold(g, t, true)
-	dark := Threshold(g, t, false)
-	if bright.Count() <= dark.Count() {
-		return bright
+	above := g.CountAbove(t)
+	brightForeground := above <= len(g.Pix)-above
+	dst.resize(g.W, g.H)
+	for i, p := range g.Pix {
+		fg := p > t
+		if !brightForeground {
+			fg = !fg
+		}
+		if fg {
+			dst.Pix[i] = 1
+		} else {
+			dst.Pix[i] = 0
+		}
 	}
-	return dark
+	return dst
 }
