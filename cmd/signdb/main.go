@@ -37,11 +37,20 @@ func main() {
 
 	case *inspect != "":
 		rec := loadInto(*inspect)
+		db := rec.Database()
 		fmt.Printf("database: %d entries, word length %d, alphabet %d, series length %d\n",
-			rec.Database().Len(), rec.Config().Segments, rec.Config().Alphabet, rec.Config().SignatureLen)
-		for _, e := range rec.Database().Entries() {
+			db.Len(), rec.Config().Segments, rec.Config().Alphabet, rec.Config().SignatureLen)
+		for _, e := range db.Entries() {
 			fmt.Printf("  %-10s %s\n", e.Label, e.Word.Symbols)
 		}
+		fmt.Print("shard occupancy (label-hash striping):")
+		for i, n := range db.ShardSizes() {
+			if i%8 == 0 {
+				fmt.Print("\n  ")
+			}
+			fmt.Printf("%3d ", n)
+		}
+		fmt.Println()
 
 	case *verify != "":
 		rec := loadInto(*verify)
@@ -55,7 +64,12 @@ func main() {
 			} else {
 				ok = false
 			}
-			fmt.Printf("  %-10s → %-10s dist=%.2f  [%s]\n", s, res.Match.Label, res.Match.Dist, status)
+			rival := ""
+			if res.RunnerUp.Label != "" {
+				rival = fmt.Sprintf(" (runner-up %s dist=%.2f)", res.RunnerUp.Label, res.RunnerUp.Dist)
+			}
+			fmt.Printf("  %-10s → %-10s dist=%.2f conf=%.2f%s  [%s]\n",
+				s, res.Match.Label, res.Match.Dist, res.Confidence, rival, status)
 		}
 		if !ok {
 			fail(fmt.Errorf("verification failed"))

@@ -20,9 +20,10 @@ import (
 // collaborator from the drone's actual pose and runs the SAX recogniser on
 // the frame. This is where Fig 3 happens end to end.
 type conversationEnv struct {
-	sys   *System
-	human *human.Collaborator
-	frame *raster.Gray // pooled render target, reused across perceptions
+	sys     *System
+	human   *human.Collaborator
+	frame   *raster.Gray        // pooled render target, reused across perceptions
+	scratch *recognizer.Scratch // per-conversation recognition lane (vision + lookup buffers)
 
 	extra     time.Duration // perception time not covered by the agent clock
 	lastPoked bool
@@ -35,7 +36,12 @@ func newConversationEnv(s *System, c *human.Collaborator) *conversationEnv {
 	// waiver is managed around EnterArea.
 	s.Agent.SetHumans([]geom.Vec2{c.Position()})
 	cfg := s.Rend.Config()
-	return &conversationEnv{sys: s, human: c, frame: s.framePool.Get(cfg.Width, cfg.Height)}
+	return &conversationEnv{
+		sys:     s,
+		human:   c,
+		frame:   s.framePool.Get(cfg.Width, cfg.Height),
+		scratch: recognizer.NewScratch(),
+	}
 }
 
 func (e *conversationEnv) close() {
@@ -112,7 +118,7 @@ func (e *conversationEnv) PerceiveSign(timeout time.Duration) (body.Sign, bool, 
 		e.extra += timeout - resp.Latency
 		return 0, false, nil
 	}
-	res, err := e.sys.Rec.Recognize(frame)
+	res, err := e.sys.Rec.RecognizeWith(e.scratch, frame)
 	e.extra += res.Timings.Total
 	if err != nil {
 		if errors.Is(err, recognizer.ErrNoSign) {

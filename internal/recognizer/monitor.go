@@ -36,11 +36,16 @@ func (c MonitorConfig) withDefaults() MonitorConfig {
 
 // SignEvent is emitted when a sign becomes stable or is released.
 type SignEvent struct {
-	Sign     body.Sign
-	Stable   bool          // true: sign held; false: sign released
-	At       time.Duration // stream time of the event
-	HeldFor  time.Duration // for release events: how long it was held
-	Distance float64       // match distance of the confirming frame
+	Sign    body.Sign
+	Stable  bool          // true: sign held; false: sign released
+	At      time.Duration // stream time of the event
+	HeldFor time.Duration // for release events: how long it was held
+	// Distance and Confidence describe the confirming frame of a hold
+	// event: the match distance, and the relative margin over the
+	// runner-up entry (Result.Confidence) — how clearly the winning sign
+	// beat the next-best candidate in the dictionary.
+	Distance   float64
+	Confidence float64
 }
 
 // Monitor debounces a stream of frames into stable sign events. Not safe
@@ -80,11 +85,12 @@ func (m *Monitor) Push(frame *raster.Gray, dt time.Duration) ([]SignEvent, error
 	m.frameCount++
 
 	var seen body.Sign // 0 = nothing acceptable in this frame
-	var dist float64
+	var dist, conf float64
 	res, err := m.rec.Recognize(frame)
 	if err == nil && res.OK {
 		seen = res.Sign
 		dist = res.Match.Dist
+		conf = res.Confidence
 	} else if err != nil && !errors.Is(err, ErrNoSign) {
 		// Vision errors (empty frame etc.) count as "nothing seen" for
 		// debouncing purposes but are surfaced for diagnostics.
@@ -135,10 +141,11 @@ func (m *Monitor) Push(frame *raster.Gray, dt time.Duration) ([]SignEvent, error
 			m.current = 0
 			m.count = 0
 			events = append(events, SignEvent{
-				Sign:     seen,
-				Stable:   true,
-				At:       m.clock,
-				Distance: dist,
+				Sign:       seen,
+				Stable:     true,
+				At:         m.clock,
+				Distance:   dist,
+				Confidence: conf,
 			})
 		}
 	} else if seen == 0 {

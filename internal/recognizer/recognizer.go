@@ -15,7 +15,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"hdc/internal/body"
@@ -47,6 +49,11 @@ type Config struct {
 	// contour start point jumping between the raised hand and the head as
 	// the view changes. The bounded variant is kept for the E10b ablation.
 	ShiftWindowFrac float64
+	// ScanWorkers, when >1, enables the database's concurrent shard scan
+	// for large dictionaries (see sax.Database.SetScanWorkers). The default
+	// serial scan is right for the built-in reference sets; fleet-scale
+	// per-site dictionaries with hundreds of exemplars benefit.
+	ScanWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,14 +90,22 @@ type StageTimings struct {
 
 // Result is the outcome of recognising one frame.
 type Result struct {
-	OK        bool              // true when a sign was accepted
-	Sign      body.Sign         // recognised sign (valid when OK)
-	Label     string            // database label of the match
-	Word      sax.Word          // SAX word of the query signature
-	Match     sax.Match         // full match diagnostics (nearest even if rejected)
-	Signature timeseries.Series // z-normalised query signature
-	Area      int               // silhouette pixel area
-	Timings   StageTimings
+	OK       bool      // true when a sign was accepted
+	Sign     body.Sign // recognised sign (valid when OK)
+	Label    string    // database label of the match
+	Word     sax.Word  // SAX word of the query signature
+	Match    sax.Match // full match diagnostics (nearest even if rejected)
+	RunnerUp sax.Match // second-nearest entry (zero when the database has one entry)
+	// Margin and Confidence measure how clearly the winning label beat the
+	// nearest rival label (sax.RivalMargin over the top-4 matches):
+	// exemplars of the winning sign do not count against it. Margin is the
+	// absolute distance gap (+Inf with no competitor at all), Confidence
+	// the relative margin in [0,1].
+	Margin     float64
+	Confidence float64
+	Signature  timeseries.Series // z-normalised query signature
+	Area       int               // silhouette pixel area
+	Timings    StageTimings
 }
 
 // Recognizer binds a SAX database of reference signs to the vision
@@ -109,15 +124,26 @@ type Recognizer struct {
 }
 
 // Scratch holds the per-worker reusable state of one recognition lane: the
-// vision buffers that would otherwise be reallocated every frame. Each worker
+// vision buffers that would otherwise be reallocated every frame, plus the
+// database lookup scratch (candidate heap, top-k working set). Each worker
 // goroutine owns one Scratch; the zero-configuration way to get one is
 // NewScratch.
 type Scratch struct {
-	v *vision.Scratch
+	v    *vision.Scratch
+	lk   *sax.LookupScratch
+	topk [4]sax.Match
 }
 
 // NewScratch returns a fresh recognition scratch.
-func NewScratch() *Scratch { return &Scratch{v: vision.NewScratch()} }
+func NewScratch() *Scratch {
+	return &Scratch{v: vision.NewScratch(), lk: sax.NewLookupScratch()}
+}
+
+// scratchPool backs Recognize's per-call scratch so one-shot callers share
+// the loop callers' allocation-free path.
+var scratchPool = sync.Pool{
+	New: func() any { return NewScratch() },
+}
 
 // New constructs a recognizer with an empty reference database.
 func New(cfg Config) (*Recognizer, error) {
@@ -132,6 +158,9 @@ func New(cfg Config) (*Recognizer, error) {
 	}
 	if cfg.ShiftWindowFrac > 0 {
 		db.SetShiftWindowFrac(cfg.ShiftWindowFrac)
+	}
+	if cfg.ScanWorkers > 1 {
+		db.SetScanWorkers(cfg.ScanWorkers)
 	}
 	return &Recognizer{cfg: cfg, db: db, enc: enc}, nil
 }
@@ -228,9 +257,9 @@ var ErrNoSign = errors.New("recognizer: no sign recognised")
 // buffers come from a shared pool; workers that process frames in a loop
 // should hold their own Scratch and call RecognizeWith instead.
 func (r *Recognizer) Recognize(frame *raster.Gray) (Result, error) {
-	vs := vision.GetScratch()
-	defer vision.PutScratch(vs)
-	return r.recognize(vs, frame)
+	sc := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(sc)
+	return r.recognize(sc, frame)
 }
 
 // RecognizeWith is Recognize using the caller's per-worker scratch state, the
@@ -240,7 +269,7 @@ func (r *Recognizer) RecognizeWith(sc *Scratch, frame *raster.Gray) (Result, err
 	if sc == nil {
 		return r.Recognize(frame)
 	}
-	return r.recognize(sc.v, frame)
+	return r.recognize(sc, frame)
 }
 
 // RecognizeInto is the batch API: it recognises frames[i] into dst[i],
@@ -256,14 +285,15 @@ func (r *Recognizer) RecognizeInto(sc *Scratch, frames []*raster.Gray, dst []Res
 	}
 	errs := make([]error, len(frames))
 	for i, f := range frames {
-		dst[i], errs[i] = r.recognize(sc.v, f)
+		dst[i], errs[i] = r.recognize(sc, f)
 	}
 	return errs
 }
 
 // recognize is the shared implementation behind Recognize and its variants.
-func (r *Recognizer) recognize(vs *vision.Scratch, frame *raster.Gray) (Result, error) {
+func (r *Recognizer) recognize(sc *Scratch, frame *raster.Gray) (Result, error) {
 	var res Result
+	vs := sc.v
 	t0 := time.Now()
 
 	mask := vs.Binarize(frame)
@@ -296,16 +326,28 @@ func (r *Recognizer) recognize(vs *vision.Scratch, frame *raster.Gray) (Result, 
 	}
 	res.Word = word
 
-	match, lerr := r.db.LookupZ(z, word, r.cfg.Threshold)
+	// Top-4 lookup: the nearest entry decides the sign; the distance margin
+	// over the nearest *rival* label (other exemplars of the same sign do
+	// not compete) becomes the confidence the monitor and negotiation
+	// layers consume.
+	matches, lerr := r.db.LookupKZWith(sc.lk, z, word, 4, sc.topk[:0])
 	t5 := time.Now()
 	res.Timings.Match = t5.Sub(t4)
 	res.Timings.Total = t5.Sub(t0)
-	res.Match = match
 	if lerr != nil {
-		if errors.Is(lerr, sax.ErrNoMatch) {
-			return res, ErrNoSign
-		}
 		return res, lerr
+	}
+	if len(matches) == 0 {
+		return res, ErrNoSign
+	}
+	match := matches[0]
+	res.Match = match
+	if len(matches) > 1 {
+		res.RunnerUp = matches[1]
+	}
+	res.Margin, res.Confidence = sax.RivalMargin(matches)
+	if math.IsInf(match.Dist, 1) || match.Dist > r.cfg.Threshold {
+		return res, ErrNoSign
 	}
 	res.Label = match.Label
 	if s, ok := signFor(match.Label); ok {
@@ -347,6 +389,9 @@ func (r *Recognizer) LoadReferences(rd io.Reader) error {
 	}
 	if r.cfg.ShiftWindowFrac > 0 {
 		db.SetShiftWindowFrac(r.cfg.ShiftWindowFrac)
+	}
+	if r.cfg.ScanWorkers > 1 {
+		db.SetScanWorkers(r.cfg.ScanWorkers)
 	}
 	r.db = db
 	return nil

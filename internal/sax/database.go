@@ -3,9 +3,11 @@ package sax
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"hdc/internal/timeseries"
 )
@@ -24,6 +26,16 @@ type Entry struct {
 	// mirror allocation per entry.
 	revSeries timeseries.Series
 	revWord   Word
+
+	// hist is the symbol histogram of Word — rotation- and mirror-invariant,
+	// so one histogram serves both candidates in the stage-0 prefilter.
+	hist []uint16
+
+	// seq is the global insertion sequence number: a stable identity used to
+	// break exact distance ties deterministically, so the indexed cascade and
+	// the linear reference scan elect the same winner regardless of shard
+	// layout or visit order.
+	seq uint64
 }
 
 // Match is the result of a database lookup.
@@ -40,15 +52,55 @@ type Match struct {
 // threshold.
 var ErrNoMatch = errors.New("sax: no match within threshold")
 
+// numShards is the fixed shard count of the entry store. Sixteen shards keep
+// the per-shard mutexes uncontended for worker pools well past NumCPU on
+// typical hosts while the fixed power of two keeps shard selection a mask.
+const numShards = 16
+
+// concurrentScanMin is the dictionary size below which a concurrent shard
+// scan is not worth the goroutine fan-out, even when scan workers are
+// configured.
+const concurrentScanMin = 256
+
+// shard is one lock-striped slice of the entry store. Entries are append-only
+// and immutable once inserted: a lookup may retain *Entry pointers taken
+// under the read lock and keep reading them after release, because Add never
+// rewrites an existing element (append either extends in place or copies to
+// a fresh array).
+type shard struct {
+	mu      sync.RWMutex
+	entries []Entry
+}
+
+// shardIndex hashes a label onto a shard (FNV-1a).
+func shardIndex(label string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(label))
+	return int(h.Sum32() & (numShards - 1))
+}
+
 // Database is a thread-safe collection of labelled reference words/series
 // with rotation- and mirror-invariant nearest lookup. It is the "database of
 // strings" from the paper's §IV against which captured signs are compared.
+//
+// Entries are sharded by label hash behind per-shard read-write locks, so a
+// worker pool's concurrent lookups never serialise against each other and an
+// Add only briefly blocks readers of one shard. Lookup runs a three-stage
+// pruning cascade (symbol-histogram lower bound → rotation-windowed MINDIST
+// → exact alignment, each stage cut off against the best distance so far);
+// LookupZLinear retains the unpruned linear scan as the reference
+// implementation and benchmark baseline.
 type Database struct {
-	mu        sync.RWMutex
-	enc       *Encoder
-	n         int     // canonical series length
-	shiftFrac float64 // fraction of the series length the shift search may cover (≤0: full)
-	entries   []Entry
+	enc *Encoder
+	n   int // canonical series length
+
+	cfgMu       sync.RWMutex
+	shiftFrac   float64 // fraction of the series length the shift search may cover (≤0: full)
+	scanWorkers int     // >1 enables the concurrent shard scan for large dictionaries
+
+	seqCounter atomic.Uint64
+	count      atomic.Int64
+	shards     [numShards]shard
 }
 
 // NewDatabase creates a database for signatures of length n symbolised by
@@ -71,37 +123,54 @@ func (db *Database) Encoder() *Encoder { return db.enc }
 // window preserves tolerance to modest in-plane rotation while preventing a
 // gross rotation from aliasing one sign's lobe pattern onto another's.
 func (db *Database) SetShiftWindowFrac(frac float64) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.cfgMu.Lock()
+	defer db.cfgMu.Unlock()
 	db.shiftFrac = frac
+}
+
+// SetScanWorkers enables (>1) or disables (≤1, the default) the concurrent
+// shard scan: stage 0 of the lookup cascade fans the per-shard histogram
+// pass over up to workers goroutines once the dictionary holds at least 256
+// entries. The fan-out allocates per call, so the serial default remains the
+// right choice for small dictionaries and allocation-sensitive callers.
+func (db *Database) SetScanWorkers(workers int) {
+	db.cfgMu.Lock()
+	defer db.cfgMu.Unlock()
+	db.scanWorkers = workers
+}
+
+// params snapshots the window bounds (-1 = unbounded) and scan-worker count.
+func (db *Database) params() (wordWin, seriesWin, workers int) {
+	db.cfgMu.RLock()
+	frac := db.shiftFrac
+	workers = db.scanWorkers
+	db.cfgMu.RUnlock()
+	if frac <= 0 {
+		return -1, -1, workers
+	}
+	// The word bound carries a one-symbol safety margin over the scaled-down
+	// series bound.
+	return int(frac*float64(db.enc.Segments())) + 1, int(frac * float64(db.n)), workers
 }
 
 // seriesShift returns the series-level shift bound (-1 = unbounded).
 func (db *Database) seriesShift() int {
-	if db.shiftFrac <= 0 {
-		return -1
-	}
-	return int(db.shiftFrac * float64(db.n))
+	_, s, _ := db.params()
+	return s
 }
 
 // wordShift returns the word-level shift bound matching seriesShift, with a
 // one-symbol safety margin (-1 = unbounded).
 func (db *Database) wordShift() int {
-	if db.shiftFrac <= 0 {
-		return -1
-	}
-	return int(db.shiftFrac*float64(db.enc.Segments())) + 1
+	w, _, _ := db.params()
+	return w
 }
 
 // SeriesLen returns the canonical signature length.
 func (db *Database) SeriesLen() int { return db.n }
 
 // Len returns the number of entries.
-func (db *Database) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.entries)
-}
+func (db *Database) Len() int { return int(db.count.Load()) }
 
 // Add registers a labelled reference series. The series is resampled to the
 // canonical length, z-normalised, encoded and stored. Duplicate labels are
@@ -119,13 +188,24 @@ func (db *Database) Add(label string, s timeseries.Series) error {
 	if err != nil {
 		return fmt.Errorf("sax: add %q: %w", label, err)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.entries = append(db.entries, newEntry(label, w, z))
+	db.insert(label, w, z)
 	return nil
 }
 
-// newEntry builds an entry with its mirrored candidate precomputed.
+// insert stores an already prepared (canonical-length, z-normalised,
+// encoded) entry into its label's shard.
+func (db *Database) insert(label string, w Word, z timeseries.Series) {
+	e := newEntry(label, w, z)
+	e.seq = db.seqCounter.Add(1)
+	sh := &db.shards[shardIndex(label)]
+	sh.mu.Lock()
+	sh.entries = append(sh.entries, e)
+	sh.mu.Unlock()
+	db.count.Add(1)
+}
+
+// newEntry builds an entry with its mirrored candidate and symbol histogram
+// precomputed.
 func newEntry(label string, w Word, z timeseries.Series) Entry {
 	return Entry{
 		Label:     label,
@@ -133,16 +213,41 @@ func newEntry(label string, w Word, z timeseries.Series) Entry {
 		Series:    z,
 		revSeries: z.Reverse().Rotate(-1),
 		revWord:   w.Reverse().Rotate(-1),
+		hist:      histOf(w),
 	}
+}
+
+// collect returns a copy of all entries in shard order (no global
+// ordering). Every shard read lock is held for the duration of the copy —
+// locks are taken in index order, and Add only ever takes one — so the copy
+// is a point-in-time snapshot even with concurrent writers: Save and the
+// reporting helpers can never observe a later insertion while missing an
+// earlier one.
+func (db *Database) collect() []Entry {
+	for si := range db.shards {
+		db.shards[si].mu.RLock()
+	}
+	out := make([]Entry, 0, db.Len())
+	for si := range db.shards {
+		out = append(out, db.shards[si].entries...)
+	}
+	for si := range db.shards {
+		db.shards[si].mu.RUnlock()
+	}
+	return out
+}
+
+// snapshot returns a copy of all entries in insertion (seq) order.
+func (db *Database) snapshot() []Entry {
+	out := db.collect()
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
 }
 
 // Entries returns a copy of the registered entries, sorted by label then
 // word, for reporting.
 func (db *Database) Entries() []Entry {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]Entry, len(db.entries))
-	copy(out, db.entries)
+	out := db.collect()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Label != out[j].Label {
 			return out[i].Label < out[j].Label
@@ -152,11 +257,23 @@ func (db *Database) Entries() []Entry {
 	return out
 }
 
+// ShardSizes reports the entry count per shard (diagnostics: cmd/signdb
+// -inspect uses it to show the lock-striping balance).
+func (db *Database) ShardSizes() [numShards]int {
+	var sizes [numShards]int
+	for si := range db.shards {
+		sh := &db.shards[si]
+		sh.mu.RLock()
+		sizes[si] = len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return sizes
+}
+
 // Lookup finds the nearest entry to the query series under the rotation- and
-// mirror-invariant exact distance, using MINDIST word pruning first. Entries
-// whose exact distance exceeds threshold are rejected; if none survive,
-// ErrNoMatch is returned together with the best (rejected) candidate for
-// diagnostics.
+// mirror-invariant exact distance, using the pruning cascade. Entries whose
+// exact distance exceeds threshold are rejected; if none survive, ErrNoMatch
+// is returned together with the best (rejected) candidate for diagnostics.
 func (db *Database) Lookup(q timeseries.Series, threshold float64) (Match, error) {
 	rs, err := q.ResampleLinear(db.n)
 	if err != nil {
@@ -173,67 +290,179 @@ func (db *Database) Lookup(q timeseries.Series, threshold float64) (Match, error
 // LookupZ is Lookup for a query already resampled to the canonical length
 // and z-normalised, with its word precomputed — the recogniser's hot path,
 // which has both at hand and skips the re-preparation Lookup performs. The
-// scan holds the database read lock, so concurrent LookupZ calls proceed in
-// parallel while Add blocks until they finish.
+// scratch comes from an internal pool; callers that loop should hold their
+// own LookupScratch and use LookupZWith for the zero-allocation steady
+// state.
 func (db *Database) LookupZ(z timeseries.Series, qw Word, threshold float64) (Match, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	sc := lookupScratchPool.Get().(*LookupScratch)
+	defer lookupScratchPool.Put(sc)
+	return db.LookupZWith(sc, z, qw, threshold)
+}
 
-	if len(db.entries) == 0 {
+// LookupZWith is LookupZ using the caller's reusable scratch — the
+// allocation-free steady-state path. A scratch must not be shared between
+// concurrent lookups.
+func (db *Database) LookupZWith(sc *LookupScratch, z timeseries.Series, qw Word, threshold float64) (Match, error) {
+	if sc == nil {
+		return db.LookupZ(z, qw, threshold)
+	}
+	res, err := db.LookupKZWith(sc, z, qw, 1, sc.one[:0])
+	sc.one = res[:0]
+	if err != nil {
+		return Match{}, err
+	}
+	if len(res) == 0 {
 		return Match{}, ErrNoMatch
 	}
-	wordWin, seriesWin := db.wordShift(), db.seriesShift()
-
-	// Stage 1: MINDIST (rotation+mirror minimised) lower bound per entry.
-	type cand struct {
-		idx int
-		lb  float64
+	best := res[0]
+	if math.IsInf(best.Dist, 1) || best.Dist > threshold {
+		return best, ErrNoMatch
 	}
-	cands := make([]cand, 0, len(db.entries))
-	for i := range db.entries {
-		e := &db.entries[i]
-		lb, _, err := db.enc.MinDistRotationWindow(qw, e.Word, db.n, wordWin)
-		if err != nil {
-			return Match{}, err
-		}
-		if lbRev, _, err := db.enc.MinDistRotationWindow(qw, e.revWord, db.n, wordWin); err != nil {
-			return Match{}, err
-		} else if lbRev < lb {
-			lb = lbRev
-		}
-		cands = append(cands, cand{idx: i, lb: lb})
-	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].lb < cands[j].lb })
+	return best, nil
+}
 
-	// Stage 2: exact rotation/mirror alignment in lower-bound order with
-	// pruning: once an exact distance is at hand, any candidate whose lower
-	// bound exceeds it cannot win.
-	best := Match{Dist: math.Inf(1), WordDist: math.Inf(1)}
-	for _, c := range cands {
-		if c.lb >= best.Dist {
+// LookupK returns the (up to) k nearest entries to the query series under
+// the exact rotation/mirror-invariant distance, closest first, written into
+// dst (dst is reused from the start: its existing contents are discarded,
+// its capacity avoids the allocation). No threshold is applied: the
+// runner-up distances feed confidence margins (see Margin/RivalMargin),
+// which need the rejected neighbours too.
+func (db *Database) LookupK(q timeseries.Series, k int, dst []Match) ([]Match, error) {
+	rs, err := q.ResampleLinear(db.n)
+	if err != nil {
+		return dst[:0], err
+	}
+	z := rs.ZNormalize()
+	qw, err := db.enc.Encode(z)
+	if err != nil {
+		return dst[:0], err
+	}
+	sc := lookupScratchPool.Get().(*LookupScratch)
+	defer lookupScratchPool.Put(sc)
+	return db.LookupKZWith(sc, z, qw, k, dst)
+}
+
+// Margin reports the separation between the best match and its runner-up:
+// the absolute distance gap and the relative margin (gap divided by the
+// runner-up distance, clamped to [0,1]) that the recogniser exposes as match
+// confidence. A single-entry result has no competing candidate and yields a
+// full margin of 1.
+func Margin(matches []Match) (abs, rel float64) {
+	if len(matches) == 0 {
+		return 0, 0
+	}
+	if len(matches) == 1 {
+		return math.Inf(1), 1
+	}
+	abs = matches[1].Dist - matches[0].Dist
+	if matches[1].Dist > 0 {
+		rel = abs / matches[1].Dist
+	}
+	if rel < 0 {
+		rel = 0
+	}
+	if rel > 1 {
+		rel = 1
+	}
+	return abs, rel
+}
+
+// RivalMargin is Margin measured against the nearest *rival* — the closest
+// candidate whose label differs from the winner's — rather than the raw
+// runner-up. With several exemplars per sign (the fleet-dictionary layout),
+// the runner-up of a clean capture is usually another exemplar of the same
+// sign at a tiny distance, which would wrongly read as an ambiguous match;
+// what confidence should measure is how clearly the winning *label* beat the
+// competing labels. When every candidate in matches shares the winner's
+// label, the farthest one's distance is used as a conservative lower bound
+// on the true rival distance (the real rival, if any, lies beyond the
+// returned top-k), so confidence errs low, never high.
+func RivalMargin(matches []Match) (abs, rel float64) {
+	if len(matches) == 0 {
+		return 0, 0
+	}
+	if len(matches) == 1 {
+		return math.Inf(1), 1
+	}
+	rival := matches[len(matches)-1].Dist
+	for _, m := range matches[1:] {
+		if m.Label != matches[0].Label {
+			rival = m.Dist
 			break
 		}
-		e := &db.entries[c.idx]
-		d, shift, err := timeseries.MinRotationDistWindow(z, e.Series, seriesWin)
-		if err != nil {
-			return Match{}, err
-		}
-		mirrored := false
-		if dRev, sRev, err := timeseries.MinRotationDistWindow(z, e.revSeries, seriesWin); err != nil {
-			return Match{}, err
-		} else if dRev < d {
-			d, shift, mirrored = dRev, sRev, true
-		}
-		if d < best.Dist {
-			best = Match{
-				Label:    e.Label,
-				Word:     e.Word,
-				WordDist: c.lb,
-				Dist:     d,
-				Shift:    shift,
-				Mirrored: mirrored,
+	}
+	abs = rival - matches[0].Dist
+	if rival > 0 {
+		rel = abs / rival
+	}
+	if rel < 0 {
+		rel = 0
+	}
+	if rel > 1 {
+		rel = 1
+	}
+	return abs, rel
+}
+
+// LookupZLinear is the retained linear-scan reference implementation: every
+// entry is fully evaluated (rotation-windowed MINDIST for the word distance,
+// exact rotation/mirror alignment for the decision) with no index, no
+// cutoffs and no candidate ordering. It exists as the ground truth the
+// cascade is property-tested against (byte-identical Match results) and as
+// the baseline the BenchmarkDatabaseLookup* speedups are measured from.
+func (db *Database) LookupZLinear(z timeseries.Series, qw Word, threshold float64) (Match, error) {
+	if qw.Alphabet != db.enc.AlphabetSize() || len(qw.Symbols) != db.enc.Segments() {
+		return Match{}, ErrWordMismatch
+	}
+	wordWin, seriesWin, _ := db.params()
+	best := Match{Dist: math.Inf(1), WordDist: math.Inf(1)}
+	bestSeq := uint64(math.MaxUint64)
+	found := false
+	for si := range db.shards {
+		sh := &db.shards[si]
+		sh.mu.RLock()
+		for i := range sh.entries {
+			e := &sh.entries[i]
+			lb, _, err := db.enc.MinDistRotationWindow(qw, e.Word, db.n, wordWin)
+			if err != nil {
+				sh.mu.RUnlock()
+				return Match{}, err
+			}
+			if lbRev, _, err := db.enc.MinDistRotationWindow(qw, e.revWord, db.n, wordWin); err != nil {
+				sh.mu.RUnlock()
+				return Match{}, err
+			} else if lbRev < lb {
+				lb = lbRev
+			}
+			d, shift, err := timeseries.MinRotationDistWindow(z, e.Series, seriesWin)
+			if err != nil {
+				sh.mu.RUnlock()
+				return Match{}, err
+			}
+			mirrored := false
+			if dRev, sRev, err := timeseries.MinRotationDistWindow(z, e.revSeries, seriesWin); err != nil {
+				sh.mu.RUnlock()
+				return Match{}, err
+			} else if dRev < d {
+				d, shift, mirrored = dRev, sRev, true
+			}
+			if d < best.Dist || (d == best.Dist && e.seq < bestSeq) {
+				best = Match{
+					Label:    e.Label,
+					Word:     e.Word,
+					WordDist: lb,
+					Dist:     d,
+					Shift:    shift,
+					Mirrored: mirrored,
+				}
+				bestSeq = e.seq
+				found = true
 			}
 		}
+		sh.mu.RUnlock()
+	}
+	if !found {
+		return Match{}, ErrNoMatch
 	}
 	if math.IsInf(best.Dist, 1) || best.Dist > threshold {
 		return best, ErrNoMatch

@@ -32,18 +32,22 @@ type entryFile struct {
 // currentVersion of the file format.
 const currentVersion = 1
 
-// Save writes the database (encoder parameters + every entry) as JSON.
+// Save writes the database (encoder parameters + every entry) as JSON. The
+// in-memory shard layout is not part of the format: entries are written in
+// insertion order and re-sharded by label hash on Load, so version-1 files
+// from before the sharded store round-trip unchanged.
 func (db *Database) Save(w io.Writer) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.cfgMu.RLock()
+	shiftFrac := db.shiftFrac
+	db.cfgMu.RUnlock()
 	f := databaseFile{
 		Version:   currentVersion,
 		Segments:  db.enc.Segments(),
 		Alphabet:  db.enc.AlphabetSize(),
 		SeriesLen: db.n,
-		ShiftFrac: db.shiftFrac,
+		ShiftFrac: shiftFrac,
 	}
-	for _, e := range db.entries {
+	for _, e := range db.snapshot() {
 		f.Entries = append(f.Entries, entryFile{
 			Label:  e.Label,
 			Word:   e.Word.Symbols,
@@ -94,9 +98,7 @@ func Load(r io.Reader) (*Database, error) {
 			return nil, fmt.Errorf("sax: load: entry %d word %q does not match its series (recomputed %q) — corrupted file",
 				i, e.Word, w.Symbols)
 		}
-		db.mu.Lock()
-		db.entries = append(db.entries, newEntry(e.Label, w, s.Clone()))
-		db.mu.Unlock()
+		db.insert(e.Label, w, s.Clone())
 	}
 	if db.Len() == 0 {
 		return nil, errors.New("sax: load: database has no entries")

@@ -89,3 +89,102 @@ func TestDatabaseConcurrentLookupAdd(t *testing.T) {
 		t.Fatalf("entries lost: %d, want %d", got, want)
 	}
 }
+
+// TestDatabaseConcurrentShardedLookup drives the sharded store the way a
+// fleet-scale deployment does: a dictionary large enough to engage the
+// concurrent shard scan, per-worker scratches issuing LookupZWith/LookupKZWith,
+// and adders landing entries across shards the whole time. Run with -race.
+func TestDatabaseConcurrentShardedLookup(t *testing.T) {
+	enc, err := NewEncoder(16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDatabase(enc, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetScanWorkers(4)
+
+	mkSeries := func(seed int64) timeseries.Series {
+		rng := rand.New(rand.NewSource(seed))
+		s := make(timeseries.Series, 64)
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		return s
+	}
+	// Big enough that the concurrent scan path engages (≥ concurrentScanMin).
+	const seedEntries = 300
+	for i := 0; i < seedEntries; i++ {
+		if err := db.Add(fmt.Sprintf("label-%03d", i%37), mkSeries(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const lookupWorkers = 6
+	const adders = 2
+	const perWorker = 40
+
+	var wg sync.WaitGroup
+	for w := 0; w < lookupWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := NewLookupScratch()
+			var topk [3]Match
+			q := mkSeries(int64(5000 + w))
+			z := q.ZNormalize()
+			qw, err := enc.Encode(z)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < perWorker; i++ {
+				m, err := db.LookupZWith(sc, z, qw, 1e9)
+				if err != nil {
+					t.Errorf("lookup: %v", err)
+					return
+				}
+				if m.Label == "" {
+					t.Error("empty label under huge threshold")
+					return
+				}
+				ms, err := db.LookupKZWith(sc, z, qw, 3, topk[:0])
+				if err != nil {
+					t.Errorf("lookupK: %v", err)
+					return
+				}
+				// Entries are append-only, so the second lookup sees a
+				// superset of what the first saw: its best can only be
+				// at least as close.
+				if len(ms) != 3 || ms[0].Dist > m.Dist {
+					t.Errorf("lookupK best %+v worse than earlier lookup %+v", ms[0], m)
+					return
+				}
+				if ms[0].Dist > ms[1].Dist || ms[1].Dist > ms[2].Dist {
+					t.Error("lookupK results not ascending")
+					return
+				}
+			}
+		}(w)
+	}
+	for a := 0; a < adders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				label := fmt.Sprintf("dyn-%d-%d", a, i)
+				if err := db.Add(label, mkSeries(int64(9000+a*perWorker+i))); err != nil {
+					t.Errorf("add: %v", err)
+					return
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+
+	want := seedEntries + adders*perWorker
+	if got := db.Len(); got != want {
+		t.Fatalf("entries lost: %d, want %d", got, want)
+	}
+}

@@ -267,6 +267,19 @@ func (e *Encoder) MinDistRotation(w, v Word, n int) (best float64, shift int, er
 // to ±maxShift word positions (maxShift < 0 searches all rotations). The
 // rotations are evaluated by index offset, so the search allocates nothing.
 func (e *Encoder) MinDistRotationWindow(w, v Word, n, maxShift int) (best float64, shift int, err error) {
+	return e.MinDistRotationWindowCutoff(w, v, n, maxShift, math.Inf(1))
+}
+
+// MinDistRotationWindowCutoff is MinDistRotationWindow with a best-so-far
+// cutoff threaded into the rotation loop: each rotation's running cell sum is
+// abandoned once it can no longer land below min(local best, cutoff). The
+// database cascade passes its current global best so pruning MINDIST costs
+// only a few cell additions on hopeless entries.
+//
+// When no rotation beats the cutoff the returned distance is not meaningful
+// (it may be +Inf); callers must treat any result ≥ cutoff as "no
+// improvement". A cutoff of +Inf recovers MinDistRotationWindow exactly.
+func (e *Encoder) MinDistRotationWindowCutoff(w, v Word, n, maxShift int, cutoff float64) (best float64, shift int, err error) {
 	m := len(v.Symbols)
 	if m == 0 {
 		return 0, 0, ErrEmptyWord
@@ -283,30 +296,46 @@ func (e *Encoder) MinDistRotationWindow(w, v Word, n, maxShift int) (best float6
 		nn = e.segments
 	}
 	scale := math.Sqrt(float64(nn) / float64(e.segments))
-	best = math.Inf(1)
-	try := func(k int) {
-		kk := ((k % m) + m) % m
-		var ss float64
-		for i := 0; i < m; i++ {
-			j := i + kk
-			if j >= m {
-				j -= m
-			}
-			d := e.cells[w.Symbols[i]-'a'][v.Symbols[j]-'a']
-			ss += d * d
-		}
-		if d := scale * math.Sqrt(ss); d < best {
-			best = d
-			shift = kk
-		}
+	bestSS := math.Inf(1)
+	cutSS := math.Inf(1)
+	if !math.IsInf(cutoff, 1) {
+		c := cutoff / scale
+		cutSS = c * c
 	}
 	for k := 0; k <= maxShift; k++ {
-		try(k)
-		if k != 0 {
-			try(-k)
+		for s := 0; s < 2; s++ {
+			kk := k
+			if s == 1 {
+				if k == 0 {
+					continue
+				}
+				kk = m - k
+			}
+			lim := bestSS
+			if cutSS < lim {
+				lim = cutSS
+			}
+			var ss float64
+			abandoned := false
+			for i := 0; i < m; i++ {
+				j := i + kk
+				if j >= m {
+					j -= m
+				}
+				d := e.cells[w.Symbols[i]-'a'][v.Symbols[j]-'a']
+				ss += d * d
+				if ss > lim { // early abandon against local best and cutoff
+					abandoned = true
+					break
+				}
+			}
+			if !abandoned && ss < bestSS {
+				bestSS = ss
+				shift = kk
+			}
 		}
 	}
-	return best, shift, nil
+	return scale * math.Sqrt(bestSS), shift, nil
 }
 
 // MinDistRotationMirror extends MinDistRotation with the mirrored candidate.

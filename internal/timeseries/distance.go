@@ -2,11 +2,12 @@ package timeseries
 
 import (
 	"math"
+	"sync"
 )
 
 // EuclideanDist returns the Euclidean distance between equal-length series.
-// It returns +Inf and no error for mismatched lengths is NOT silently
-// accepted — callers get ErrLengthMismatch.
+// Mismatched lengths are not silently accepted: callers get
+// ErrLengthMismatch, never a quiet +Inf.
 func EuclideanDist(a, b Series) (float64, error) {
 	if len(a) != len(b) {
 		return 0, ErrLengthMismatch
@@ -39,6 +40,20 @@ func MinRotationDist(a, b Series) (best float64, shift int, err error) {
 // pattern onto another's, which is what full rotation invariance does to
 // Yes vs No.
 func MinRotationDistWindow(a, b Series, maxShift int) (best float64, shift int, err error) {
+	return MinRotationDistWindowCutoff(a, b, maxShift, math.Inf(1))
+}
+
+// MinRotationDistWindowCutoff is MinRotationDistWindow with a best-so-far
+// cutoff threaded into the inner loop: every shift's running sum is abandoned
+// as soon as it can no longer beat min(local best, cutoff). Callers that scan
+// many candidates (the sax database cascade) pass their global best distance
+// so hopeless candidates cost a handful of additions instead of a full pass.
+//
+// When no rotation beats the cutoff the returned distance is not meaningful
+// (it may be +Inf or any abandoned partial minimum ≥ cutoff); callers must
+// treat any result ≥ cutoff as "no improvement". A cutoff of +Inf recovers
+// the exact MinRotationDistWindow semantics.
+func MinRotationDistWindowCutoff(a, b Series, maxShift int, cutoff float64) (best float64, shift int, err error) {
 	if len(a) != len(b) {
 		return 0, 0, ErrLengthMismatch
 	}
@@ -49,33 +64,45 @@ func MinRotationDistWindow(a, b Series, maxShift int) (best float64, shift int, 
 	if maxShift < 0 || maxShift >= n/2 {
 		maxShift = n / 2 // symmetric full coverage
 	}
-	best = math.Inf(1)
-	tryShift := func(k int) {
-		kk := ((k % n) + n) % n
-		var ss float64
-		for i := 0; i < n; i++ {
-			j := i + kk
-			if j >= n {
-				j -= n
-			}
-			d := a[i] - b[j]
-			ss += d * d
-			if ss >= best { // early abandon
-				return
-			}
-		}
-		if ss < best {
-			best = ss
-			shift = kk
-		}
+	bestSS := math.Inf(1)
+	cutSS := math.Inf(1)
+	if !math.IsInf(cutoff, 1) {
+		cutSS = cutoff * cutoff
 	}
 	for k := 0; k <= maxShift; k++ {
-		tryShift(k)
-		if k != 0 {
-			tryShift(-k)
+		for s := 0; s < 2; s++ {
+			kk := k
+			if s == 1 {
+				if k == 0 {
+					continue
+				}
+				kk = n - k
+			}
+			lim := bestSS
+			if cutSS < lim {
+				lim = cutSS
+			}
+			var ss float64
+			abandoned := false
+			for i := 0; i < n; i++ {
+				j := i + kk
+				if j >= n {
+					j -= n
+				}
+				d := a[i] - b[j]
+				ss += d * d
+				if ss > lim { // early abandon: cannot beat local best or cutoff
+					abandoned = true
+					break
+				}
+			}
+			if !abandoned && ss < bestSS {
+				bestSS = ss
+				shift = kk
+			}
 		}
 	}
-	return math.Sqrt(best), shift, nil
+	return math.Sqrt(bestSS), shift, nil
 }
 
 // MinRotationMirrorDist extends MinRotationDist to also consider the
@@ -172,10 +199,24 @@ func minInt(a, b int) int {
 	return b
 }
 
+// xcorrPool recycles the two z-normalised buffers CrossCorrelationPeak
+// needs, so repeated diagnostic sweeps do not churn the allocator.
+var xcorrPool = sync.Pool{
+	New: func() any {
+		s := make(Series, 0, 256)
+		return &s
+	},
+}
+
 // CrossCorrelationPeak returns the circular shift of b maximising the
 // normalised cross-correlation with a, and that correlation value in
-// [-1, 1]. It is a cheaper alignment heuristic than MinRotationDist used by
-// diagnostics.
+// [-1, 1].
+//
+// This is a diagnostics-only helper (alignment sanity checks, experiment
+// reports): the recognition path aligns with MinRotationDistWindow, whose
+// early-abandoned Euclidean search is both the matcher's actual metric and
+// cheaper under pruning. The O(n²) correlation here has no cutoff support
+// and should not appear on a hot path.
 func CrossCorrelationPeak(a, b Series) (shift int, corr float64, err error) {
 	if len(a) != len(b) {
 		return 0, 0, ErrLengthMismatch
@@ -183,8 +224,16 @@ func CrossCorrelationPeak(a, b Series) (shift int, corr float64, err error) {
 	if len(a) == 0 {
 		return 0, 0, ErrEmpty
 	}
-	an := a.ZNormalize()
-	bn := b.ZNormalize()
+	abuf := xcorrPool.Get().(*Series)
+	bbuf := xcorrPool.Get().(*Series)
+	an := a.ZNormalizeInto(*abuf)
+	bn := b.ZNormalizeInto(*bbuf)
+	defer func() {
+		*abuf = an[:0]
+		*bbuf = bn[:0]
+		xcorrPool.Put(abuf)
+		xcorrPool.Put(bbuf)
+	}()
 	n := len(a)
 	best := math.Inf(-1)
 	for k := 0; k < n; k++ {

@@ -229,3 +229,84 @@ func TestCrossCorrelationPeak(t *testing.T) {
 }
 
 func sq(x float64) float64 { return x * x }
+
+func TestMinRotationDistWindowCutoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 100; trial++ {
+		a := randSeries(rng, 48)
+		b := randSeries(rng, 48)
+		for _, win := range []int{-1, 5} {
+			exact, shift, err := MinRotationDistWindow(a, b, win)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A cutoff above the true minimum must not change the result bits.
+			d, s, err := MinRotationDistWindowCutoff(a, b, win, exact*1.0001)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d != exact || s != shift {
+				t.Fatalf("win=%d: cutoff above min changed result: (%v,%d) vs (%v,%d)",
+					win, d, s, exact, shift)
+			}
+			// A cutoff below the true minimum must report no improvement
+			// (a value ≥ the cutoff).
+			low := exact * 0.9
+			d, _, err = MinRotationDistWindowCutoff(a, b, win, low)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d < low {
+				t.Fatalf("win=%d: cutoff %v undercut: returned %v", win, low, d)
+			}
+		}
+	}
+}
+
+func TestZNormalizeInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	s := randSeries(rng, 64)
+	want := s.ZNormalize()
+	// Undersized, exact and oversized destination buffers.
+	for _, buf := range []Series{nil, make(Series, 64), make(Series, 0, 128)} {
+		got := s.ZNormalizeInto(buf)
+		if len(got) != len(want) {
+			t.Fatalf("len = %d", len(got))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("sample %d: %v != %v", i, got[i], want[i])
+			}
+		}
+	}
+	// Constant series normalises to zeros here too.
+	c := Series{3, 3, 3}
+	z := c.ZNormalizeInto(make(Series, 0, 8))
+	for _, v := range z {
+		if v != 0 {
+			t.Fatalf("constant series -> %v", z)
+		}
+	}
+	if got := Series(nil).ZNormalizeInto(make(Series, 4)); len(got) != 0 {
+		t.Fatalf("empty series -> len %d", len(got))
+	}
+}
+
+func TestCrossCorrelationPeakPooledReuse(t *testing.T) {
+	// Repeated calls must keep returning correct values while drawing their
+	// normalisation buffers from the pool (allocation behaviour is covered
+	// by the benchmark; correctness under reuse is what matters here).
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 20; trial++ {
+		n := 16 + 16*(trial%3)
+		a := randSeries(rng, n)
+		b := a.Rotate(trial % n)
+		_, corr, err := CrossCorrelationPeak(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if corr < 0.999 {
+			t.Fatalf("trial %d: corr = %v", trial, corr)
+		}
+	}
+}

@@ -101,6 +101,30 @@ func (s Series) ZNormalize() Series {
 	return out
 }
 
+// ZNormalizeInto is ZNormalize writing into dst (grown as needed), so
+// callers with a reusable buffer avoid the per-call allocation. It returns
+// the normalised slice, which aliases dst's storage when capacity sufficed.
+func (s Series) ZNormalizeInto(dst Series) Series {
+	if len(s) == 0 {
+		return dst[:0]
+	}
+	if cap(dst) < len(s) {
+		dst = make(Series, len(s))
+	}
+	dst = dst[:len(s)]
+	m, sd := s.Mean(), s.Std()
+	if sd < stdFloor {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	for i, v := range s {
+		dst[i] = (v - m) / sd
+	}
+	return dst
+}
+
 // PAA reduces s to segments piecewise-aggregate means. When len(s) is not a
 // multiple of segments, fractional frame weighting is used so every sample
 // contributes exactly once (the standard Keogh formulation generalised to

@@ -1,8 +1,6 @@
 package vision
 
 import (
-	"sync"
-
 	"hdc/internal/raster"
 	"hdc/internal/timeseries"
 )
@@ -11,8 +9,10 @@ import (
 // mask, morphology ping/pong planes, component labels, contour storage and
 // the signature's float planes — so one recognition worker can process an
 // unbounded stream of frames without steady-state allocations. A Scratch is
-// not safe for concurrent use: give each goroutine its own, either directly
-// or via GetScratch/PutScratch.
+// not safe for concurrent use: give each goroutine its own. (Pooling lives
+// one level up: recognizer.Scratch wraps this together with the database
+// lookup scratch, so there is a single pool for the whole recognition lane
+// rather than one per layer.)
 type Scratch struct {
 	mask *Binary // binarised frame, cleaned in place
 	tmpA *Binary // morphology scratch
@@ -35,21 +35,6 @@ func NewScratch() *Scratch {
 		tmpA: &Binary{},
 		tmpB: &Binary{},
 		comp: &Binary{},
-	}
-}
-
-// scratchPool recycles Scratch instances for callers that do not hold a
-// per-worker one (e.g. the single-frame Recognize convenience path).
-var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
-
-// GetScratch fetches a scratch from the shared pool.
-func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
-
-// PutScratch returns a scratch to the shared pool. Any series or contour
-// previously returned from it becomes invalid.
-func PutScratch(s *Scratch) {
-	if s != nil {
-		scratchPool.Put(s)
 	}
 }
 
