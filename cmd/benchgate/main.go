@@ -1,0 +1,186 @@
+// Command benchgate is the CI perf-regression gate: it compares two `go
+// test -bench` outputs (a checked-in baseline and the current run) and fails
+// when the geometric-mean time/op ratio across the benchmarks they share
+// exceeds a threshold.
+//
+//	go test -run='^$' -bench='...' -benchtime=1x -count=5 ./... > current.txt
+//	go run ./cmd/benchgate -baseline bench_baseline.txt -current current.txt -threshold 1.25
+//
+// Per-benchmark medians (over -count repetitions) feed the ratios, so a
+// single noisy repetition cannot trip the gate; benchstat renders the same
+// pair of files as a human-readable table in the CI log. Benchmarks present
+// on only one side are reported but never gate — the baseline may have been
+// recorded on a machine with a different core count (sub-benchmarks such as
+// workers=N legitimately differ). Refresh the baseline by committing the
+// bench-output artifact of a green CI run (see .github/workflows/ci.yml).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main. Exit codes: 0 pass, 1 regression or
+// missing data, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseline := fs.String("baseline", "", "baseline benchmark output file")
+	current := fs.String("current", "", "current benchmark output file")
+	threshold := fs.Float64("threshold", 1.25, "fail when geomean(current/baseline) exceeds this ratio")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(stderr, "benchgate: -baseline and -current are required")
+		return 2
+	}
+	if err := gate(*baseline, *current, *threshold, stdout); err != nil {
+		fmt.Fprintln(stderr, "benchgate:", err)
+		return 1
+	}
+	return 0
+}
+
+// gate loads both files and applies the geomean threshold.
+func gate(baselinePath, currentPath string, threshold float64, stdout io.Writer) error {
+	base, err := loadBench(baselinePath)
+	if err != nil {
+		return err
+	}
+	cur, err := loadBench(currentPath)
+	if err != nil {
+		return err
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("no benchmark results in %s", baselinePath)
+	}
+	if len(cur) == 0 {
+		return fmt.Errorf("no benchmark results in %s", currentPath)
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if _, ok := cur[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("baseline and current share no benchmarks")
+	}
+
+	logSum := 0.0
+	fmt.Fprintf(stdout, "%-60s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio")
+	for _, name := range names {
+		b := median(base[name])
+		c := median(cur[name])
+		ratio := c / b
+		logSum += math.Log(ratio)
+		fmt.Fprintf(stdout, "%-60s %14.0f %14.0f %8.3f\n", name, b, c, ratio)
+	}
+	geomean := math.Exp(logSum / float64(len(names)))
+	fmt.Fprintf(stdout, "geomean ratio over %d shared benchmarks: %.3f (threshold %.3f)\n",
+		len(names), geomean, threshold)
+
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			fmt.Fprintf(stdout, "note: %s only in baseline (not gated)\n", name)
+		}
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			fmt.Fprintf(stdout, "note: %s only in current (not gated)\n", name)
+		}
+	}
+
+	if geomean > threshold {
+		return fmt.Errorf("geomean ratio %.3f exceeds threshold %.3f — perf regression", geomean, threshold)
+	}
+	fmt.Fprintln(stdout, "benchgate: PASS")
+	return nil
+}
+
+// loadBench parses a `go test -bench` output file into name → ns/op samples.
+// Benchmark lines look like:
+//
+//	BenchmarkName/sub=1-8   	       5	 123456 ns/op	 2048 B/op	 12 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix is stripped so runs from machines with
+// different core counts still share names.
+func loadBench(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, nsop, ok := parseBenchLine(sc.Text())
+		if ok {
+			out[name] = append(out[name], nsop)
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseBenchLine extracts (name, ns/op) from one benchmark result line.
+func parseBenchLine(line string) (string, float64, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", 0, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", 0, false
+	}
+	// fields: name, iterations, value, unit, [more pairs...]
+	var nsop float64
+	found := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		if fields[i+1] == "ns/op" {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return "", 0, false
+			}
+			nsop, found = v, true
+			break
+		}
+	}
+	if !found {
+		return "", 0, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix (the part after the last '-' when it is
+	// all digits).
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		digits := name[i+1:]
+		if digits != "" && strings.Trim(digits, "0123456789") == "" {
+			name = name[:i]
+		}
+	}
+	return name, nsop, true
+}
+
+// median returns the middle sample (mean of the two middles for even n).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baselineOut = `goos: linux
+BenchmarkPipelineThroughput/workers=1-8     	 1	 1000000 ns/op	 2048 B/op	 12 allocs/op
+BenchmarkPipelineThroughput/workers=1-8     	 1	 1100000 ns/op	 2048 B/op	 12 allocs/op
+BenchmarkPipelineThroughput/workers=1-8     	 1	  900000 ns/op	 2048 B/op	 12 allocs/op
+BenchmarkDatabaseLookup1000-8               	 1	 3500000 ns/op
+BenchmarkServerBatch-8                      	 1	 9000000 ns/op
+PASS
+`
+
+// TestParseBenchLine pins the parser on the formats go test emits.
+func TestParseBenchLine(t *testing.T) {
+	name, ns, ok := parseBenchLine("BenchmarkDatabaseLookup1000-8 \t 1\t 3500000 ns/op")
+	if !ok || name != "BenchmarkDatabaseLookup1000" || ns != 3500000 {
+		t.Fatalf("got %q %v %v", name, ns, ok)
+	}
+	// GOMAXPROCS suffix stripped even with sub-benchmarks.
+	name, _, ok = parseBenchLine("BenchmarkPipelineThroughput/workers=1-16 \t 1\t 42 ns/op")
+	if !ok || name != "BenchmarkPipelineThroughput/workers=1" {
+		t.Fatalf("got %q", name)
+	}
+	// Non-benchmark lines ignored.
+	if _, _, ok := parseBenchLine("PASS"); ok {
+		t.Fatal("PASS parsed as benchmark")
+	}
+	if _, _, ok := parseBenchLine("goos: linux"); ok {
+		t.Fatal("header parsed as benchmark")
+	}
+}
+
+// TestGatePasses: identical performance → ratio 1 → pass, exit 0.
+func TestGatePasses(t *testing.T) {
+	base := writeBench(t, "base.txt", baselineOut)
+	cur := writeBench(t, "cur.txt", baselineOut)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", base, "-current", cur}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "benchgate: PASS") {
+		t.Fatalf("output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "geomean ratio over 3 shared benchmarks") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+// TestGateFailsOnRegression: a uniform 2× slowdown must trip the 25% gate.
+func TestGateFailsOnRegression(t *testing.T) {
+	slow := strings.NewReplacer(
+		"1000000 ns/op", "2000000 ns/op",
+		"1100000 ns/op", "2200000 ns/op",
+		" 900000 ns/op", "1800000 ns/op",
+		"3500000 ns/op", "7000000 ns/op",
+		"9000000 ns/op", "18000000 ns/op",
+	).Replace(baselineOut)
+	base := writeBench(t, "base.txt", baselineOut)
+	cur := writeBench(t, "cur.txt", slow)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", base, "-current", cur, "-threshold", "1.25"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(errOut.String(), "perf regression") {
+		t.Fatalf("stderr: %s", errOut.String())
+	}
+}
+
+// TestGateUsesMedians: one wild outlier among the repetitions must not trip
+// the gate.
+func TestGateUsesMedians(t *testing.T) {
+	noisy := strings.Replace(baselineOut,
+		" 1100000 ns/op", " 99000000 ns/op", 1) // one bad repetition
+	base := writeBench(t, "base.txt", baselineOut)
+	cur := writeBench(t, "cur.txt", noisy)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", base, "-current", cur}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s\n%s", code, errOut.String(), out.String())
+	}
+}
+
+// TestDisjointNamesReportedNotGated: benchmarks present on only one side
+// are noted but do not gate; fully disjoint sets are an error.
+func TestDisjointNamesReportedNotGated(t *testing.T) {
+	extra := baselineOut + "BenchmarkOnlyInCurrent-8 \t 1\t 123 ns/op\n"
+	base := writeBench(t, "base.txt", baselineOut)
+	cur := writeBench(t, "cur.txt", extra)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", base, "-current", cur}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "only in current") {
+		t.Fatalf("output: %s", out.String())
+	}
+
+	disjoint := writeBench(t, "disj.txt", "BenchmarkOther-8 \t 1\t 5 ns/op\n")
+	if code := run([]string{"-baseline", base, "-current", disjoint}, &out, &errOut); code != 1 {
+		t.Fatalf("disjoint exit %d, want 1", code)
+	}
+}
+
+// TestUsageErrors pins flag handling.
+func TestUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("missing flags exit %d, want 2", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag exit %d, want 2", code)
+	}
+	if code := run([]string{"-baseline", "/nonexistent", "-current", "/nonexistent"}, &out, &errOut); code != 1 {
+		t.Fatalf("missing file exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"hdc/internal/server"
+	"hdc/internal/server/client"
+	"hdc/internal/server/loadtest"
+)
+
+// loadgen.go is the measured E19 experiment as an operator tool: N synthetic
+// operators hammer one recognition service with batch and/or stream traffic
+// (internal/server/loadtest is the shared driver — the E19 generator uses
+// the same one) and the report adds the server's own occupancy/allocation
+// counters from /statsz.
+
+type loadgenConfig struct {
+	operators int
+	duration  time.Duration
+	batch     int
+	mix       string // batch | stream | mixed
+	wire      string // raw | json
+	target    string // empty = in-process server
+	workers   int    // in-process pool size (0 = NumCPU)
+}
+
+// runLoadgen executes the experiment and prints the report.
+func runLoadgen(cfg loadgenConfig, stdout, stderr io.Writer) error {
+	ltCfg := loadtest.Config{
+		Operators: cfg.operators,
+		Batch:     cfg.batch,
+		Duration:  cfg.duration,
+		Mix:       cfg.mix,
+		Wire:      cfg.wire,
+	}
+	if err := ltCfg.Validate(); err != nil {
+		return err
+	}
+
+	base := cfg.target
+	if base == "" {
+		sys, srv, err := buildService(cfg.workers, 0, 0, "", 2*time.Minute, 1024)
+		if err != nil {
+			return err
+		}
+		ln, err := newListener("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: srv}
+		go func() { _ = httpSrv.Serve(ln) }()
+		defer func() {
+			_ = httpSrv.Close()
+			srv.Close()
+			sys.Close()
+		}()
+		base = "http://" + ln.Addr().String()
+	}
+
+	frames, err := loadtest.RenderFrames(ltCfg.Batch)
+	if err != nil {
+		return err
+	}
+
+	probe := client.New(base, nil)
+	ctx := context.Background()
+	if err := probe.Healthz(ctx); err != nil {
+		return fmt.Errorf("loadgen: target %s not healthy: %w", base, err)
+	}
+	statsBefore, err := probe.Statsz(ctx)
+	if err != nil {
+		return fmt.Errorf("loadgen: statsz: %w", err)
+	}
+
+	res, err := loadtest.Drive(ctx, base, ltCfg, frames)
+	if err != nil {
+		return err
+	}
+
+	statsAfter, err := probe.Statsz(ctx)
+	if err != nil {
+		return fmt.Errorf("loadgen: statsz: %w", err)
+	}
+	report(stdout, ltCfg, base, &res, statsBefore, statsAfter)
+	return nil
+}
+
+// report prints the E19 summary.
+func report(w io.Writer, cfg loadtest.Config, base string, res *loadtest.Result, before, after server.StatsResponse) {
+	fmt.Fprintf(w, "hdcserve loadgen: %d operators, mix=%s, wire=%s, batch=%d, %v against %s\n",
+		cfg.Operators, cfg.Mix, cfg.Wire, cfg.Batch, cfg.Duration, base)
+	fmt.Fprintf(w, "  frames:     %d (%.1f frames/s)\n", res.Frames, res.FramesPerSec())
+	fmt.Fprintf(w, "  requests:   %d (%.1f req/s), %d failures\n", res.Requests, res.ReqPerSec(), res.Failures)
+	fmt.Fprintf(w, "  latency:    p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms\n",
+		res.PercentileMS(0.50), res.PercentileMS(0.95), res.PercentileMS(0.99), res.PercentileMS(1.0))
+	fmt.Fprintf(w, "  pool:       workers=%d queue=%d/%d streams=%d\n",
+		after.Pool.Workers, after.Pool.QueueLen, after.Pool.QueueCap, after.Pool.Streams)
+	if d := after.Mem.TotalAllocBytes - before.Mem.TotalAllocBytes; res.Frames > 0 {
+		fmt.Fprintf(w, "  allocation: %.1f KB/frame server-side (TotalAlloc delta)\n",
+			float64(d)/1024/float64(res.Frames))
+	}
+	for _, ep := range []string{"batch", "stream_frames"} {
+		b, a := before.Endpoints[ep], after.Endpoints[ep]
+		if a.Count > b.Count {
+			fmt.Fprintf(w, "  server %-13s count=%d p50=%.1fms p99=%.1fms\n",
+				ep+":", a.Count-b.Count, a.P50MS, a.P99MS)
+		}
+	}
+}
+
+// newListener opens the TCP listener for serve and the in-process loadgen.
+func newListener(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}

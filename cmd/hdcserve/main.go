@@ -1,0 +1,180 @@
+// Command hdcserve runs the networked recognition service: one shared
+// core.System worker pool behind the internal/server HTTP API, serving
+// many concurrent operators (see DESIGN.md §"The service layer").
+//
+//	hdcserve -addr :8080 -workers 8                 # serve
+//	hdcserve -dict refs.json                        # serve a shipped dictionary
+//	hdcserve -loadgen -operators 16 -duration 5s    # measured E19 experiment
+//
+// Serving mode drains gracefully on SIGINT/SIGTERM: /healthz flips to 503,
+// in-flight requests finish, stream sessions end, then the pool stops.
+// Loadgen mode drives N synthetic operators (batch and stream traffic) at
+// the service and reports sustained throughput and request-latency
+// percentiles.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hdc/internal/core"
+	"hdc/internal/pipeline"
+	"hdc/internal/recognizer"
+	"hdc/internal/scene"
+	"hdc/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is the testable body of main. ready, when non-nil, receives the bound
+// listen address once the server accepts connections (used by tests and by
+// the loadgen's in-process mode).
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("hdcserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		workers  = fs.Int("workers", 0, "recognition worker pool size (0 = NumCPU)")
+		queue    = fs.Int("queue", 0, "shared frame queue depth (0 = 2×workers)")
+		window   = fs.Int("window", 0, "per-stream in-flight frame bound (0 = 2×workers)")
+		dict     = fs.String("dict", "", "load a reference dictionary file (default: render the built-in references)")
+		idle     = fs.Duration("idle-timeout", 2*time.Minute, "reap stream sessions idle this long")
+		maxBatch = fs.Int("max-batch", 256, "largest accepted batch / stream-frames request")
+
+		loadgen   = fs.Bool("loadgen", false, "drive synthetic load instead of serving (the E19 experiment)")
+		operators = fs.Int("operators", 8, "loadgen: concurrent synthetic operators")
+		duration  = fs.Duration("duration", 5*time.Second, "loadgen: run length")
+		batch     = fs.Int("batch", 8, "loadgen: frames per request")
+		mix       = fs.String("mix", "mixed", "loadgen: traffic mix: batch | stream | mixed")
+		wire      = fs.String("wire", "raw", "loadgen: frame encoding: raw | json")
+		target    = fs.String("target", "", "loadgen: target base URL (default: an in-process server)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "hdcserve: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	if *loadgen {
+		cfg := loadgenConfig{
+			operators: *operators,
+			duration:  *duration,
+			batch:     *batch,
+			mix:       *mix,
+			wire:      *wire,
+			target:    *target,
+			workers:   *workers,
+		}
+		if err := runLoadgen(cfg, stdout, stderr); err != nil {
+			fmt.Fprintln(stderr, "hdcserve:", err)
+			return 1
+		}
+		return 0
+	}
+
+	sys, srv, err := buildService(*workers, *queue, *window, *dict, *idle, *maxBatch)
+	if err != nil {
+		fmt.Fprintln(stderr, "hdcserve:", err)
+		return 1
+	}
+	if err := serve(*addr, sys, srv, stdout, ready); err != nil {
+		fmt.Fprintln(stderr, "hdcserve:", err)
+		return 1
+	}
+	return 0
+}
+
+// buildService assembles the system and the HTTP service over it.
+func buildService(workers, queue, window int, dict string, idle time.Duration, maxBatch int) (*core.System, *server.Server, error) {
+	sys, err := core.NewSystem(
+		core.WithSceneConfig(scene.Config{}),
+		core.WithPipelineConfig(pipeline.Config{
+			Workers: workers, QueueDepth: queue, StreamWindow: window,
+		}),
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	if dict != "" {
+		if err := loadDictionary(sys.Rec, dict); err != nil {
+			return nil, nil, err
+		}
+	}
+	srv := server.New(sys, server.Options{
+		MaxBatch:          maxBatch,
+		StreamIdleTimeout: idle,
+	})
+	return sys, srv, nil
+}
+
+// loadDictionary replaces the rendered references with a shipped database.
+func loadDictionary(rec *recognizer.Recognizer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rec.LoadReferences(f); err != nil {
+		return fmt.Errorf("dictionary %s: %w", path, err)
+	}
+	return nil
+}
+
+// serve listens until SIGINT/SIGTERM, then drains: healthz 503 → in-flight
+// requests finish (http.Server.Shutdown) → sessions end → pool stops.
+func serve(addr string, sys *core.System, srv *server.Server, stdout io.Writer, ready chan<- string) error {
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+	ln, err := newListener(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "hdcserve: serving on %s (pool: %s)\n", ln.Addr(), poolDesc(sys))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "hdcserve: draining")
+	srv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(stdout, "hdcserve: forced shutdown:", err)
+	}
+	srv.Close()
+	sys.Close()
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(stdout, "hdcserve: drained")
+	return nil
+}
+
+// poolDesc summarises the pool for the startup line.
+func poolDesc(sys *core.System) string {
+	if st, ok := sys.PoolStats(); ok {
+		return fmt.Sprintf("%d workers", st.Workers)
+	}
+	return "lazy start"
+}

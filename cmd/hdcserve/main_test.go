@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestLoadgenSmoke runs a miniature in-process load generation end to end:
+// server up, operators driven, report printed.
+func TestLoadgenSmoke(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-loadgen", "-operators", "2", "-duration", "300ms", "-batch", "2", "-workers", "1",
+	}, &out, &errOut, nil)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{"hdcserve loadgen: 2 operators", "frames:", "latency:", "pool:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "failures") && !strings.Contains(s, " 0 failures") {
+		t.Errorf("loadgen reported failures:\n%s", s)
+	}
+}
+
+// TestServeAndDrain boots the real serving path on an ephemeral port, checks
+// health, then drains it with SIGTERM — the production shutdown sequence.
+func TestServeAndDrain(t *testing.T) {
+	var out, errOut bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1"}, &out, &errOut, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// The signal handler is installed by serve; the test process delivers
+	// SIGTERM to itself and run() must drain and exit 0.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d: %s", code, errOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain never completed")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Fatalf("drain log: %q", out.String())
+	}
+}
+
+// TestUsageAndValidation pins the exit taxonomy.
+func TestUsageAndValidation(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errOut, nil); code != 2 {
+		t.Fatalf("bad flag exit %d, want 2", code)
+	}
+	if code := run([]string{"positional"}, &out, &errOut, nil); code != 2 {
+		t.Fatalf("positional arg exit %d, want 2", code)
+	}
+	if code := run([]string{"-loadgen", "-mix", "sideways"}, &out, &errOut, nil); code != 1 {
+		t.Fatalf("bad mix exit %d, want 1", code)
+	}
+	if code := run([]string{"-loadgen", "-wire", "carrier-pigeon"}, &out, &errOut, nil); code != 1 {
+		t.Fatalf("bad wire exit %d, want 1", code)
+	}
+	// A dictionary that does not exist fails cleanly at startup.
+	errOut.Reset()
+	if code := run([]string{"-dict", "/nonexistent/refs.json"}, &out, &errOut, nil); code != 1 {
+		t.Fatalf("missing dict exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "hdcserve:") {
+		t.Fatalf("stderr: %q", errOut.String())
+	}
+}

@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hdc/internal/body"
@@ -17,99 +18,140 @@ import (
 )
 
 func main() {
-	build := flag.String("build", "", "render references and save to this file")
-	inspect := flag.String("inspect", "", "print the entries of a saved database")
-	verify := flag.String("verify", "", "load a database and self-classify all signs")
-	flag.Parse()
-
-	switch {
-	case *build != "":
-		rec := mustRecognizer(true)
-		f, err := os.Create(*build)
-		if err != nil {
-			fail(err)
-		}
-		defer f.Close()
-		if err := rec.SaveReferences(f); err != nil {
-			fail(err)
-		}
-		fmt.Printf("saved %d reference entries to %s\n", rec.Database().Len(), *build)
-
-	case *inspect != "":
-		rec := loadInto(*inspect)
-		db := rec.Database()
-		fmt.Printf("database: %d entries, word length %d, alphabet %d, series length %d\n",
-			db.Len(), rec.Config().Segments, rec.Config().Alphabet, rec.Config().SignatureLen)
-		for _, e := range db.Entries() {
-			fmt.Printf("  %-10s %s\n", e.Label, e.Word.Symbols)
-		}
-		fmt.Print("shard occupancy (label-hash striping):")
-		for i, n := range db.ShardSizes() {
-			if i%8 == 0 {
-				fmt.Print("\n  ")
-			}
-			fmt.Printf("%3d ", n)
-		}
-		fmt.Println()
-
-	case *verify != "":
-		rec := loadInto(*verify)
-		rend := scene.NewRenderer(scene.Config{})
-		ok := true
-		for _, s := range body.AllSigns() {
-			res, err := rec.RecognizeView(rend, s, scene.ReferenceView(), body.Options{}, nil)
-			status := "FAIL"
-			if err == nil && res.OK && res.Sign == s {
-				status = "ok"
-			} else {
-				ok = false
-			}
-			rival := ""
-			if res.RunnerUp.Label != "" {
-				rival = fmt.Sprintf(" (runner-up %s dist=%.2f)", res.RunnerUp.Label, res.RunnerUp.Dist)
-			}
-			fmt.Printf("  %-10s → %-10s dist=%.2f conf=%.2f%s  [%s]\n",
-				s, res.Match.Label, res.Match.Dist, res.Confidence, rival, status)
-		}
-		if !ok {
-			fail(fmt.Errorf("verification failed"))
-		}
-		fmt.Println("database verifies: all signs self-classify")
-
-	default:
-		flag.Usage()
-		os.Exit(2)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func mustRecognizer(buildRefs bool) *recognizer.Recognizer {
+// run is the testable body of main: parse flags, dispatch, report. Exit
+// codes: 0 ok, 1 operation failed, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("signdb", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	build := fs.String("build", "", "render references and save to this file")
+	inspect := fs.String("inspect", "", "print the entries of a saved database")
+	verify := fs.String("verify", "", "load a database and self-classify all signs")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var err error
+	switch {
+	case *build != "":
+		err = runBuild(*build, stdout)
+	case *inspect != "":
+		err = runInspect(*inspect, stdout)
+	case *verify != "":
+		err = runVerify(*verify, stdout)
+	default:
+		fs.Usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "signdb:", err)
+		return 1
+	}
+	return 0
+}
+
+// runBuild renders the built-in references and saves them.
+func runBuild(path string, stdout io.Writer) error {
+	rec, err := newRecognizer(true)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rec.SaveReferences(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "saved %d reference entries to %s\n", rec.Database().Len(), path)
+	return nil
+}
+
+// runInspect lists a saved database's entries and shard occupancy.
+func runInspect(path string, stdout io.Writer) error {
+	rec, err := loadInto(path)
+	if err != nil {
+		return err
+	}
+	db := rec.Database()
+	fmt.Fprintf(stdout, "database: %d entries, word length %d, alphabet %d, series length %d\n",
+		db.Len(), rec.Config().Segments, rec.Config().Alphabet, rec.Config().SignatureLen)
+	for _, e := range db.Entries() {
+		fmt.Fprintf(stdout, "  %-10s %s\n", e.Label, e.Word.Symbols)
+	}
+	fmt.Fprint(stdout, "shard occupancy (label-hash striping):")
+	for i, n := range db.ShardSizes() {
+		if i%8 == 0 {
+			fmt.Fprint(stdout, "\n  ")
+		}
+		fmt.Fprintf(stdout, "%3d ", n)
+	}
+	fmt.Fprintln(stdout)
+	return nil
+}
+
+// runVerify loads a database and checks every sign self-classifies.
+func runVerify(path string, stdout io.Writer) error {
+	rec, err := loadInto(path)
+	if err != nil {
+		return err
+	}
+	rend := scene.NewRenderer(scene.Config{})
+	ok := true
+	for _, s := range body.AllSigns() {
+		res, err := rec.RecognizeView(rend, s, scene.ReferenceView(), body.Options{}, nil)
+		status := "FAIL"
+		if err == nil && res.OK && res.Sign == s {
+			status = "ok"
+		} else {
+			ok = false
+		}
+		rival := ""
+		if res.RunnerUp.Label != "" {
+			rival = fmt.Sprintf(" (runner-up %s dist=%.2f)", res.RunnerUp.Label, res.RunnerUp.Dist)
+		}
+		fmt.Fprintf(stdout, "  %-10s → %-10s dist=%.2f conf=%.2f%s  [%s]\n",
+			s, res.Match.Label, res.Match.Dist, res.Confidence, rival, status)
+	}
+	if !ok {
+		return fmt.Errorf("verification failed")
+	}
+	fmt.Fprintln(stdout, "database verifies: all signs self-classify")
+	return nil
+}
+
+// newRecognizer builds the calibrated recogniser, optionally with the
+// built-in rendered references.
+func newRecognizer(buildRefs bool) (*recognizer.Recognizer, error) {
 	rec, err := recognizer.New(recognizer.Config{})
 	if err != nil {
-		fail(err)
+		return nil, err
 	}
 	if buildRefs {
 		rend := scene.NewRenderer(scene.Config{})
 		if err := rec.BuildReferences(rend, scene.ReferenceView()); err != nil {
-			fail(err)
+			return nil, err
 		}
 	}
-	return rec
+	return rec, nil
 }
 
-func loadInto(path string) *recognizer.Recognizer {
-	rec := mustRecognizer(false)
+// loadInto loads a saved database into a fresh recogniser.
+func loadInto(path string) (*recognizer.Recognizer, error) {
+	rec, err := newRecognizer(false)
+	if err != nil {
+		return nil, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
-		fail(err)
+		return nil, err
 	}
 	defer f.Close()
 	if err := rec.LoadReferences(f); err != nil {
-		fail(err)
+		return nil, err
 	}
-	return rec
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "signdb:", err)
-	os.Exit(1)
+	return rec, nil
 }

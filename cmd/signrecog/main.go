@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,62 +22,101 @@ import (
 )
 
 func main() {
-	signName := flag.String("sign", "No", "sign to show: Attention, Yes, No, Idle")
-	alt := flag.Float64("alt", 5, "drone altitude (m)")
-	dist := flag.Float64("dist", 3, "horizontal distance (m)")
-	az := flag.Float64("az", 0, "relative azimuth (deg)")
-	sweep := flag.String("sweep", "", "run a sweep instead: azimuth | altitude")
-	showFrame := flag.Bool("frame", false, "print the rendered frame as ASCII art")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main. Exit codes: 0 ok, 1 operation failed,
+// 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("signrecog", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	signName := fs.String("sign", "No", "sign to show: Attention, Yes, No, Idle")
+	alt := fs.Float64("alt", 5, "drone altitude (m)")
+	dist := fs.Float64("dist", 3, "horizontal distance (m)")
+	az := fs.Float64("az", 0, "relative azimuth (deg)")
+	sweep := fs.String("sweep", "", "run a sweep instead: azimuth | altitude")
+	showFrame := fs.Bool("frame", false, "print the rendered frame as ASCII art")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	sign, err := parseSign(*signName)
+	if err != nil {
+		fmt.Fprintln(stderr, "signrecog:", err)
+		return 2
+	}
+	if *sweep != "" && *sweep != "azimuth" && *sweep != "altitude" {
+		fmt.Fprintf(stderr, "signrecog: unknown sweep %q\n", *sweep)
+		return 2
+	}
 
 	rec, err := recognizer.New(recognizer.Config{})
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "signrecog:", err)
+		return 1
 	}
 	rend := scene.NewRenderer(scene.Config{})
 	if err := rec.BuildReferences(rend, scene.ReferenceView()); err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "signrecog:", err)
+		return 1
 	}
 
 	switch *sweep {
 	case "azimuth":
-		azs := make([]float64, 0, 72)
-		for a := 0.0; a < 360; a += 5 {
-			azs = append(azs, a)
-		}
-		pts, err := recognizer.SweepAzimuth(rec, rend, parseSign(*signName), *alt, *dist, azs, 1, nil)
-		if err != nil {
-			fail(err)
-		}
-		for _, p := range pts {
-			fmt.Printf("az %5.0f°  recognised=%-5v match=%-10s dist=%.2f mirrored=%v\n",
-				p.Param, p.Recognized, p.Label, p.Dist, p.Mirrored)
-		}
-		total, arcs := recognizer.DeadAngle(pts)
-		fmt.Printf("\ndead angle: %.0f° total, arcs %v\n", total, arcs)
-		return
+		err = sweepAzimuth(rec, rend, sign, *alt, *dist, stdout)
 	case "altitude":
-		alts := []float64{1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5, 6, 7, 8, 10, 12, 15}
-		pts, err := recognizer.SweepAltitude(rec, rend, parseSign(*signName), alts, *dist, *az, 1, nil)
-		if err != nil {
-			fail(err)
-		}
-		for _, p := range pts {
-			fmt.Printf("alt %5.1f m  recognised=%-5v match=%-10s dist=%.2f\n",
-				p.Param, p.Recognized, p.Label, p.Dist)
-		}
-		return
-	case "":
+		err = sweepAltitude(rec, rend, sign, *dist, *az, stdout)
 	default:
-		fail(fmt.Errorf("unknown sweep %q", *sweep))
+		err = recognizeOnce(rec, rend, sign, *alt, *dist, *az, *showFrame, stdout)
 	}
-
-	v := scene.View{AltitudeM: *alt, DistanceM: *dist, AzimuthDeg: *az}
-	frame, err := rend.Render(parseSign(*signName), v, body.Options{}, nil)
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "signrecog:", err)
+		return 1
 	}
-	if *showFrame {
+	return 0
+}
+
+// sweepAzimuth prints the full-circle recognition envelope and dead angle.
+func sweepAzimuth(rec *recognizer.Recognizer, rend *scene.Renderer, sign body.Sign, alt, dist float64, stdout io.Writer) error {
+	azs := make([]float64, 0, 72)
+	for a := 0.0; a < 360; a += 5 {
+		azs = append(azs, a)
+	}
+	pts, err := recognizer.SweepAzimuth(rec, rend, sign, alt, dist, azs, 1, nil)
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		fmt.Fprintf(stdout, "az %5.0f°  recognised=%-5v match=%-10s dist=%.2f mirrored=%v\n",
+			p.Param, p.Recognized, p.Label, p.Dist, p.Mirrored)
+	}
+	total, arcs := recognizer.DeadAngle(pts)
+	fmt.Fprintf(stdout, "\ndead angle: %.0f° total, arcs %v\n", total, arcs)
+	return nil
+}
+
+// sweepAltitude prints the altitude envelope at a fixed azimuth.
+func sweepAltitude(rec *recognizer.Recognizer, rend *scene.Renderer, sign body.Sign, dist, az float64, stdout io.Writer) error {
+	alts := []float64{1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5, 6, 7, 8, 10, 12, 15}
+	pts, err := recognizer.SweepAltitude(rec, rend, sign, alts, dist, az, 1, nil)
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		fmt.Fprintf(stdout, "alt %5.1f m  recognised=%-5v match=%-10s dist=%.2f\n",
+			p.Param, p.Recognized, p.Label, p.Dist)
+	}
+	return nil
+}
+
+// recognizeOnce renders one view and prints the full diagnostic trace.
+func recognizeOnce(rec *recognizer.Recognizer, rend *scene.Renderer, sign body.Sign, alt, dist, az float64, showFrame bool, stdout io.Writer) error {
+	v := scene.View{AltitudeM: alt, DistanceM: dist, AzimuthDeg: az}
+	frame, err := rend.Render(sign, v, body.Options{}, nil)
+	if err != nil {
+		return err
+	}
+	if showFrame {
 		mask := vision.OtsuBinarize(frame)
 		for y := 0; y < mask.H; y += 4 {
 			var sb strings.Builder
@@ -87,37 +127,38 @@ func main() {
 					sb.WriteByte('.')
 				}
 			}
-			fmt.Println(sb.String())
+			fmt.Fprintln(stdout, sb.String())
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	res, err := rec.Recognize(frame)
 	if err != nil && err != recognizer.ErrNoSign {
-		fail(err)
+		return err
 	}
-	fmt.Printf("view:       %v\n", v)
-	fmt.Printf("signature:  %s\n", spark(res.Signature))
-	fmt.Printf("SAX word:   %s\n", res.Word.Symbols)
-	fmt.Printf("match:      %s (dist %.2f, mirrored %v)\n", res.Match.Label, res.Match.Dist, res.Match.Mirrored)
-	fmt.Printf("accepted:   %v\n", res.OK)
-	fmt.Printf("latency:    %v (threshold %v, morph %v, contour %v, encode %v, match %v)\n",
+	fmt.Fprintf(stdout, "view:       %v\n", v)
+	fmt.Fprintf(stdout, "signature:  %s\n", spark(res.Signature))
+	fmt.Fprintf(stdout, "SAX word:   %s\n", res.Word.Symbols)
+	fmt.Fprintf(stdout, "match:      %s (dist %.2f, mirrored %v)\n", res.Match.Label, res.Match.Dist, res.Match.Mirrored)
+	fmt.Fprintf(stdout, "accepted:   %v\n", res.OK)
+	fmt.Fprintf(stdout, "latency:    %v (threshold %v, morph %v, contour %v, encode %v, match %v)\n",
 		res.Timings.Total, res.Timings.Threshold, res.Timings.Morph,
 		res.Timings.Contour, res.Timings.Encode, res.Timings.Match)
+	return nil
 }
 
-func parseSign(s string) body.Sign {
+// parseSign maps a flag value to a sign.
+func parseSign(s string) (body.Sign, error) {
 	switch strings.ToLower(s) {
 	case "attention":
-		return body.SignAttention
+		return body.SignAttention, nil
 	case "yes":
-		return body.SignYes
+		return body.SignYes, nil
 	case "no":
-		return body.SignNo
+		return body.SignNo, nil
 	case "idle":
-		return body.SignIdle
+		return body.SignIdle, nil
 	default:
-		fail(fmt.Errorf("unknown sign %q", s))
-		return 0
+		return 0, fmt.Errorf("unknown sign %q", s)
 	}
 }
 
@@ -139,9 +180,4 @@ func spark(s timeseries.Series) string {
 		out[i] = ramp[idx]
 	}
 	return string(out)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "signrecog:", err)
-	os.Exit(1)
 }

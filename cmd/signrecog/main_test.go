@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRecognizeOnceOutput drives the default single-view path through the
+// extracted run() and checks the diagnostic trace.
+func TestRecognizeOnceOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-sign", "No", "-alt", "5", "-dist", "3", "-az", "0", "-frame"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{"view:", "SAX word:", "match:      No", "accepted:   true", "latency:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, "#") {
+		t.Error("-frame did not print the silhouette")
+	}
+}
+
+// TestAltitudeSweep runs the altitude sweep end to end (the azimuth sweep
+// covers 72 renders and is exercised by the experiment harness instead).
+func TestAltitudeSweep(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-sweep", "altitude", "-sign", "Yes"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "alt   5.0 m") {
+		t.Fatalf("sweep output:\n%s", s)
+	}
+	// The paper's 2–5 m envelope must recognise at the reference altitude.
+	if !strings.Contains(s, "alt   5.0 m  recognised=true") {
+		t.Errorf("5 m not recognised:\n%s", s)
+	}
+}
+
+// TestUsageErrors pins flag-parse and argument validation exits.
+func TestUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag exit %d, want 2", code)
+	}
+	errOut.Reset()
+	if code := run([]string{"-sign", "Wave"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad sign exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown sign") {
+		t.Fatalf("stderr: %q", errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"-sweep", "sideways"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad sweep exit %d, want 2", code)
+	}
+	// Physically impossible view → operation failure, exit 1.
+	errOut.Reset()
+	if code := run([]string{"-alt", "1000"}, &out, &errOut); code != 1 {
+		t.Fatalf("bad view exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,130 @@
+// remote_recognition: recognition as a network service. Boots a local
+// hdcserve-equivalent (internal/server over one shared core.System pool),
+// then drives it with the Go client the way a remote operator would: a
+// single frame, an ordered batch, and a session stream — finishing with the
+// service's own /statsz occupancy report and a graceful drain.
+//
+//	go run ./examples/remote_recognition
+//
+// To run against a real server instead, start `go run ./cmd/hdcserve` and
+// point client.New at its address.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"hdc/internal/body"
+	"hdc/internal/core"
+	"hdc/internal/pipeline"
+	"hdc/internal/raster"
+	"hdc/internal/scene"
+	"hdc/internal/server"
+	"hdc/internal/server/client"
+)
+
+func main() {
+	// ── The service side: one system, one pool, one HTTP boundary. ──
+	sys, err := core.NewSystem(
+		core.WithSceneConfig(scene.Config{}),
+		core.WithPipelineConfig(pipeline.Config{Workers: 2}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(sys, server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go func() { _ = httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("service up on %s\n\n", base)
+
+	// ── The operator side: everything below travels over HTTP. ──
+	ctx := context.Background()
+	c := client.New(base, nil)
+	rend := scene.NewRenderer(scene.Config{})
+
+	render := func(s body.Sign, az float64) *raster.Gray {
+		v := scene.ReferenceView()
+		v.AzimuthDeg = az
+		f, err := rend.Render(s, v, body.Options{}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return f
+	}
+
+	// 1. Single frame: POST /v1/recognize.
+	res, err := c.Recognize(ctx, render(body.SignNo, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single frame:   sign=%-9s confidence=%.2f dist=%.2f latency=%.1fms\n",
+		res.Sign, res.Confidence, res.Dist, float64(res.LatencyNS)/1e6)
+
+	// 2. Ordered batch: POST /v1/batch. Results come back in input order.
+	signs := []body.Sign{body.SignAttention, body.SignYes, body.SignNo, body.SignYes}
+	batch := make([]*raster.Gray, len(signs))
+	for i, s := range signs {
+		batch[i] = render(s, float64(i*10-15))
+	}
+	results, err := c.RecognizeBatch(ctx, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ordered batch:  ")
+	for i, r := range results {
+		sep := " → "
+		if i == 0 {
+			sep = ""
+		}
+		fmt.Printf("%s%s", sep, r.Sign)
+	}
+	fmt.Println()
+
+	// 3. Session stream: ordered across requests, back-pressured by the
+	// pool's stream window.
+	st, err := c.OpenStream(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stream %s:      window=%d\n", st.ID, st.Window)
+	for round := 0; round < 2; round++ {
+		rs, err := st.Submit(ctx, render(body.SignYes, -25), render(body.SignNo, 25))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  round %d:      %s, %s\n", round+1, rs[0].Sign, rs[1].Sign)
+	}
+	if err := st.Close(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The service's own view: GET /statsz.
+	stats, err := c.Statsz(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstatsz: pool workers=%d queue=%d/%d  sessions created=%d\n",
+		stats.Pool.Workers, stats.Pool.QueueLen, stats.Pool.QueueCap, stats.Sessions.Created)
+	for _, ep := range []string{"recognize", "batch", "stream_frames"} {
+		s := stats.Endpoints[ep]
+		fmt.Printf("  %-14s count=%-3d frames=%-3d p50=%.1fms p99=%.1fms\n",
+			ep, s.Count, s.Frames, s.P50MS, s.P99MS)
+	}
+
+	// ── Graceful drain, in production order. ──
+	srv.Drain()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	srv.Close()
+	sys.Close()
+	fmt.Println("\ndrained cleanly")
+}

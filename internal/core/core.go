@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"hdc/internal/drone"
 	"hdc/internal/flight"
@@ -109,7 +110,7 @@ type System struct {
 
 	pipeCfg  pipeline.Config
 	pipeOnce sync.Once
-	pipe     *pipeline.Pipeline
+	pipe     atomic.Pointer[pipeline.Pipeline]
 	pipeErr  error
 
 	framePool raster.Pool // recycles conversation/perception frame buffers

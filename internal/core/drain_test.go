@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"hdc/internal/body"
+	"hdc/internal/pipeline"
+	"hdc/internal/raster"
+	"hdc/internal/scene"
+)
+
+// drain_test.go is the shutdown audit for the service layer (ISSUE 3): a
+// server drain closes the System while RecognizeBatch calls and streams are
+// in flight from many goroutines. The contract under test: no panic, no
+// hang, and every frame's error slot is either nil (completed before the
+// drain) or a clean pipeline.ErrClosed/ErrStreamClosed — never a corrupted
+// result or a send on a closed channel.
+
+// TestCloseDuringInFlightBatches hammers Close against concurrent batch and
+// stream traffic. Run with -race: the assertions are as much about the
+// race detector's silence as about the error taxonomy.
+func TestCloseDuringInFlightBatches(t *testing.T) {
+	sys, err := NewSystem(
+		WithSceneConfig(scene.Config{Width: 128, Height: 128}),
+		WithPipelineConfig(pipeline.Config{Workers: 2, QueueDepth: 2, StreamWindow: 2}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frames := make([]*raster.Gray, 8)
+	for i := range frames {
+		f, err := sys.Rend.Render(body.SignYes, scene.ReferenceView(), body.Options{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[i] = f
+	}
+
+	const clients = 10
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients*8)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; ; round++ {
+				if c%2 == 0 {
+					results, errs, err := sys.RecognizeBatch(frames)
+					if err != nil {
+						if !errors.Is(err, pipeline.ErrClosed) {
+							errCh <- err
+						}
+						return
+					}
+					for i := range frames {
+						switch {
+						case errs[i] == nil:
+							if !results[i].OK {
+								errCh <- errors.New("nil error but result not OK")
+							}
+						case errors.Is(errs[i], pipeline.ErrClosed):
+							// Clean drain verdict for a frame overtaken by Close.
+						default:
+							errCh <- errs[i]
+						}
+					}
+				} else {
+					st, err := sys.NewStream()
+					if err != nil {
+						if !errors.Is(err, pipeline.ErrClosed) {
+							errCh <- err
+						}
+						return
+					}
+					go func() {
+						for _, f := range frames {
+							if err := st.Submit(f); err != nil {
+								return
+							}
+						}
+						st.Close()
+					}()
+					for r := range st.Results() {
+						if r.Err != nil &&
+							!errors.Is(r.Err, pipeline.ErrClosed) &&
+							!errors.Is(r.Err, pipeline.ErrStreamClosed) {
+							errCh <- r.Err
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	time.Sleep(30 * time.Millisecond) // let traffic pile onto the tiny pool
+
+	// Concurrent Closes must also be safe (the server and the process
+	// signal handler can race to shut down).
+	var closers sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		closers.Add(1)
+		go func() {
+			defer closers.Done()
+			sys.Close()
+		}()
+	}
+	closers.Wait()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// The pool reports closed, and post-drain calls fail cleanly.
+	stats, started := sys.PoolStats()
+	if !started || !stats.Closed {
+		t.Fatalf("pool stats after drain: started=%v %+v", started, stats)
+	}
+	if _, _, err := sys.RecognizeBatch(frames); !errors.Is(err, pipeline.ErrClosed) {
+		t.Fatalf("batch after drain: %v", err)
+	}
+}
+
+// TestPoolStatsDoesNotStartPool pins that observing a system is side-effect
+// free: PoolStats must not start (or block) the worker pool, and must not
+// consume the lazy-start once.
+func TestPoolStatsDoesNotStartPool(t *testing.T) {
+	sys, err := NewSystem(WithSceneConfig(scene.Config{Width: 128, Height: 128}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, started := sys.PoolStats(); started {
+		t.Fatal("PoolStats started the pool")
+	}
+	// The pool still starts lazily afterwards.
+	st, err := sys.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	stats, started := sys.PoolStats()
+	if !started || stats.Workers <= 0 {
+		t.Fatalf("pool after NewStream: started=%v %+v", started, stats)
+	}
+}

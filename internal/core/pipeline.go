@@ -12,12 +12,21 @@ import (
 
 // ensurePipeline lazily starts the shared worker pool. The recogniser's
 // references were built in NewSystem, so the pool is safe to start at any
-// point afterwards.
+// point afterwards. The pointer is published atomically so observers
+// (PoolStats, Close) can read it without consuming the start-once.
 func (s *System) ensurePipeline() (*pipeline.Pipeline, error) {
 	s.pipeOnce.Do(func() {
-		s.pipe, s.pipeErr = pipeline.New(s.Rec, s.pipeCfg)
+		p, err := pipeline.New(s.Rec, s.pipeCfg)
+		if err != nil {
+			s.pipeErr = err
+			return
+		}
+		s.pipe.Store(p)
 	})
-	return s.pipe, s.pipeErr
+	if s.pipeErr != nil {
+		return nil, s.pipeErr
+	}
+	return s.pipe.Load(), nil
 }
 
 // NewStream opens an ordered recognition stream on the system's shared
@@ -44,6 +53,16 @@ func (s *System) RecognizeBatch(frames []*raster.Gray) ([]recognizer.Result, []e
 	return p.RecognizeBatch(frames)
 }
 
+// PoolStats reports the shared worker pool's occupancy without starting it:
+// started is false (and the snapshot zero) when no streaming call has run
+// yet. It is the load signal the network service layer serves on /statsz.
+func (s *System) PoolStats() (stats pipeline.Stats, started bool) {
+	if p := s.pipe.Load(); p != nil {
+		return p.Stats(), true
+	}
+	return pipeline.Stats{}, false
+}
+
 // Close shuts down the system's worker pool, if one was started. Streams
 // still open deliver their in-flight results and then close. Close is
 // idempotent; a System that never streamed needs no Close, and streaming
@@ -52,7 +71,7 @@ func (s *System) Close() {
 	// Pool never started: consume the once so a later NewStream reports
 	// closed instead of starting a pool on a closed system.
 	s.pipeOnce.Do(func() { s.pipeErr = pipeline.ErrClosed })
-	if s.pipe != nil {
-		s.pipe.Close()
+	if p := s.pipe.Load(); p != nil {
+		p.Close()
 	}
 }

@@ -103,6 +103,32 @@ func New(rec *recognizer.Recognizer, cfg Config) (*Pipeline, error) {
 // Config returns the effective configuration.
 func (p *Pipeline) Config() Config { return p.cfg }
 
+// Stats is a point-in-time snapshot of pool occupancy, the load signal the
+// service layer exports on /statsz: how deep the shared queue is, how many
+// streams hold capacity, and whether the pool is draining.
+type Stats struct {
+	Workers      int  // recognition goroutines
+	QueueLen     int  // frames waiting in the shared queue right now
+	QueueCap     int  // shared queue capacity
+	Streams      int  // registered streams (batches hold one each while running)
+	StreamWindow int  // per-stream in-flight frame bound
+	Closed       bool // true once Close has begun
+}
+
+// Stats returns the current occupancy snapshot. Safe for concurrent use.
+func (p *Pipeline) Stats() Stats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return Stats{
+		Workers:      p.cfg.Workers,
+		QueueLen:     len(p.in),
+		QueueCap:     cap(p.in),
+		Streams:      len(p.streams),
+		StreamWindow: p.cfg.StreamWindow,
+		Closed:       p.closed,
+	}
+}
+
 // worker is one recognition lane: it owns its scratch state for the life of
 // the pipeline and drains the shared queue.
 func (p *Pipeline) worker() {

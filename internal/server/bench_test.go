@@ -1,0 +1,53 @@
+package server_test
+
+import (
+	"context"
+	"testing"
+
+	"hdc/internal/body"
+	"hdc/internal/pipeline"
+	"hdc/internal/server"
+	"hdc/internal/server/client"
+)
+
+// BenchmarkServerBatch is the CI perf-gate benchmark for the service layer:
+// a 16-frame batch through the full HTTP round trip (wire decode → shared
+// pool → wire encode) on the raw octet-stream encoding. ns/op ÷ 16 is the
+// service's per-frame cost; compare with BenchmarkPipelineThroughput for
+// the in-process floor — the difference is the network tax.
+func BenchmarkServerBatch(b *testing.B) {
+	sys, _, hs := testService(b, server.Options{}, pipeline.Config{})
+	signs := signPattern(0, 16)
+	frames := signFrames(b, sys, signs)
+	c := client.New(hs.URL, nil)
+	ctx := context.Background()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := c.RecognizeBatch(ctx, frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(frames) {
+			b.Fatalf("%d results", len(results))
+		}
+	}
+}
+
+// BenchmarkServerRecognize is the single-frame round trip, the latency the
+// loadgen's p50 should approach on an idle service.
+func BenchmarkServerRecognize(b *testing.B) {
+	sys, _, hs := testService(b, server.Options{}, pipeline.Config{})
+	frame := signFrames(b, sys, []body.Sign{body.SignNo})[0]
+	c := client.New(hs.URL, nil)
+	ctx := context.Background()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Recognize(ctx, frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+// Package client is the Go client of the networked recognition service
+// (internal/server): typed calls over the same wire contracts, so operators
+// embed recognition-as-a-service with the ergonomics of the in-process API.
+//
+//	c := client.New("http://127.0.0.1:8080", nil)
+//	res, err := c.Recognize(ctx, frame)
+//	st, err := c.OpenStream(ctx)
+//	results, err := st.Submit(ctx, frames...)
+//
+// Batch and stream submissions default to the raw octet-stream encoding
+// (frames travel as bare pixel planes, decoded server-side into pooled
+// buffers); set JSONWire to force the base64 JSON encoding instead.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"hdc/internal/raster"
+	"hdc/internal/server"
+)
+
+// Client talks to one recognition service.
+type Client struct {
+	base string
+	hc   *http.Client
+	// JSONWire switches batch/stream frame uploads from the raw
+	// octet-stream encoding to base64 JSON.
+	JSONWire bool
+}
+
+// New builds a client for the service at base (e.g. "http://host:8080").
+// A nil hc uses http.DefaultClient.
+func New(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// APIError is a non-2xx service answer.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %d: %s", e.Status, e.Msg)
+}
+
+// ErrDraining reports that the service refused work because it is shutting
+// down; retry against another replica.
+var ErrDraining = errors.New("client: service draining")
+
+// decodeError turns a non-2xx response into an error.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var er struct {
+		Error string `json:"error"`
+	}
+	_ = json.Unmarshal(body, &er)
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return fmt.Errorf("%w: %s", ErrDraining, er.Error)
+	}
+	return &APIError{Status: resp.StatusCode, Msg: er.Error}
+}
+
+// do runs one request and decodes a JSON body into out (unless nil).
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// frameBody encodes frames for upload. All frames of a raw batch must share
+// one geometry; mixed sizes fall back to JSON automatically.
+func (c *Client) frameBody(frames []*raster.Gray, single bool) (io.Reader, string, map[string]string, error) {
+	for _, f := range frames {
+		if f == nil {
+			return nil, "", nil, errors.New("client: nil frame")
+		}
+	}
+	raw := !c.JSONWire
+	for _, f := range frames[1:] {
+		if f.W != frames[0].W || f.H != frames[0].H {
+			raw = false
+			break
+		}
+	}
+	if raw {
+		var buf bytes.Buffer
+		buf.Grow(len(frames) * len(frames[0].Pix))
+		for _, f := range frames {
+			buf.Write(f.Pix)
+		}
+		hdr := map[string]string{
+			"X-Frame-Width":  strconv.Itoa(frames[0].W),
+			"X-Frame-Height": strconv.Itoa(frames[0].H),
+		}
+		if !single {
+			hdr["X-Frame-Count"] = strconv.Itoa(len(frames))
+		}
+		return &buf, "application/octet-stream", hdr, nil
+	}
+	var payload any
+	if single {
+		payload = server.FrameFromRaster(frames[0])
+	} else {
+		wire := make([]server.Frame, len(frames))
+		for i, f := range frames {
+			wire[i] = server.FrameFromRaster(f)
+		}
+		payload = struct {
+			Frames []server.Frame `json:"frames"`
+		}{wire}
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	return bytes.NewReader(body), "application/json", nil, nil
+}
+
+// post builds a frame-carrying POST.
+func (c *Client) post(ctx context.Context, path string, frames []*raster.Gray, single bool) (*http.Request, error) {
+	body, ct, hdr, err := c.frameBody(frames, single)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", ct)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	return req, nil
+}
+
+// Recognize submits one frame to POST /v1/recognize.
+func (c *Client) Recognize(ctx context.Context, frame *raster.Gray) (server.FrameResult, error) {
+	req, err := c.post(ctx, "/v1/recognize", []*raster.Gray{frame}, true)
+	if err != nil {
+		return server.FrameResult{}, err
+	}
+	var out server.FrameResult
+	if err := c.do(req, &out); err != nil {
+		return server.FrameResult{}, err
+	}
+	return out, nil
+}
+
+// RecognizeBatch submits an ordered batch to POST /v1/batch and returns one
+// result per frame, in input order.
+func (c *Client) RecognizeBatch(ctx context.Context, frames []*raster.Gray) ([]server.FrameResult, error) {
+	if len(frames) == 0 {
+		return nil, nil
+	}
+	req, err := c.post(ctx, "/v1/batch", frames, false)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Results []server.FrameResult `json:"results"`
+	}
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(frames) {
+		return out.Results, fmt.Errorf("client: %d results for %d frames", len(out.Results), len(frames))
+	}
+	return out.Results, nil
+}
+
+// rawRequest builds an octet-stream POST from a pre-encoded payload.
+func (c *Client) rawRequest(ctx context.Context, path string, w, h, count int, payload []byte) (*http.Request, error) {
+	if len(payload) != w*h*count {
+		return nil, fmt.Errorf("client: payload %d bytes for %d %dx%d frames", len(payload), count, w, h)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set("X-Frame-Width", strconv.Itoa(w))
+	req.Header.Set("X-Frame-Height", strconv.Itoa(h))
+	req.Header.Set("X-Frame-Count", strconv.Itoa(count))
+	return req, nil
+}
+
+// EncodeRaw pre-encodes frames into one octet-stream payload for
+// RawBatch/SubmitRaw: operators that resubmit the same capture buffer (ring
+// buffers, load generators) pay the encode once instead of per request.
+func EncodeRaw(frames []*raster.Gray) (w, h int, payload []byte, err error) {
+	if len(frames) == 0 {
+		return 0, 0, nil, errors.New("client: no frames")
+	}
+	w, h = frames[0].W, frames[0].H
+	payload = make([]byte, 0, len(frames)*w*h)
+	for _, f := range frames {
+		if f == nil || f.W != w || f.H != h {
+			return 0, 0, nil, errors.New("client: raw batches need uniform frame geometry")
+		}
+		payload = append(payload, f.Pix...)
+	}
+	return w, h, payload, nil
+}
+
+// RawBatch is RecognizeBatch over a pre-encoded payload (see EncodeRaw).
+func (c *Client) RawBatch(ctx context.Context, w, h, count int, payload []byte) ([]server.FrameResult, error) {
+	req, err := c.rawRequest(ctx, "/v1/batch", w, h, count, payload)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Results []server.FrameResult `json:"results"`
+	}
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// Stream is a session-scoped ordered stream on the service.
+type Stream struct {
+	c      *Client
+	ID     string
+	Window int
+}
+
+// OpenStream creates a session (POST /v1/streams).
+func (c *Client) OpenStream(ctx context.Context) (*Stream, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/streams", nil)
+	if err != nil {
+		return nil, err
+	}
+	var info struct {
+		ID     string `json:"id"`
+		Window int    `json:"window"`
+	}
+	if err := c.do(req, &info); err != nil {
+		return nil, err
+	}
+	return &Stream{c: c, ID: info.ID, Window: info.Window}, nil
+}
+
+// Submit pushes frames onto the stream and returns their ordered results.
+// A result tail marked "draining" means the service shut down mid-request.
+func (s *Stream) Submit(ctx context.Context, frames ...*raster.Gray) ([]server.FrameResult, error) {
+	if len(frames) == 0 {
+		return nil, nil
+	}
+	req, err := s.c.post(ctx, "/v1/streams/"+s.ID+"/frames", frames, false)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Results []server.FrameResult `json:"results"`
+	}
+	if err := s.c.do(req, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(frames) {
+		return out.Results, fmt.Errorf("client: %d results for %d frames", len(out.Results), len(frames))
+	}
+	return out.Results, nil
+}
+
+// SubmitRaw is Submit over a pre-encoded payload (see EncodeRaw).
+func (s *Stream) SubmitRaw(ctx context.Context, w, h, count int, payload []byte) ([]server.FrameResult, error) {
+	req, err := s.c.rawRequest(ctx, "/v1/streams/"+s.ID+"/frames", w, h, count, payload)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Results []server.FrameResult `json:"results"`
+	}
+	if err := s.c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// Close ends the session (DELETE /v1/streams/{id}).
+func (s *Stream) Close(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, s.c.base+"/v1/streams/"+s.ID, nil)
+	if err != nil {
+		return err
+	}
+	return s.c.do(req, nil)
+}
+
+// Healthz reports whether the service is accepting work.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, nil)
+}
+
+// Statsz fetches the service's occupancy/latency snapshot.
+func (c *Client) Statsz(ctx context.Context) (server.StatsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/statsz", nil)
+	if err != nil {
+		return server.StatsResponse{}, err
+	}
+	var out server.StatsResponse
+	err = c.do(req, &out)
+	return out, err
+}

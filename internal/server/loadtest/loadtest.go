@@ -1,0 +1,201 @@
+// Package loadtest drives synthetic multi-operator traffic at a recognition
+// service and aggregates throughput/latency. It is the single
+// implementation behind `cmd/hdcserve -loadgen` and the E19 experiment
+// generator, so the operator tool and the measured report cannot diverge.
+package loadtest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hdc/internal/body"
+	"hdc/internal/raster"
+	"hdc/internal/scene"
+	"hdc/internal/server"
+	"hdc/internal/server/client"
+)
+
+// Config shapes one load run.
+type Config struct {
+	Operators int           // concurrent synthetic operators
+	Batch     int           // frames per request
+	Duration  time.Duration // run length
+	Mix       string        // "batch" | "stream" | "mixed" (default mixed)
+	Wire      string        // "raw" | "json" (default raw)
+}
+
+// Validate normalises defaults and rejects unknown modes.
+func (c *Config) Validate() error {
+	if c.Operators <= 0 || c.Batch <= 0 {
+		return errors.New("loadtest: operators and batch must be positive")
+	}
+	if c.Mix == "" {
+		c.Mix = "mixed"
+	}
+	if c.Wire == "" {
+		c.Wire = "raw"
+	}
+	switch c.Mix {
+	case "batch", "stream", "mixed":
+	default:
+		return fmt.Errorf("loadtest: unknown mix %q", c.Mix)
+	}
+	switch c.Wire {
+	case "raw", "json":
+	default:
+		return fmt.Errorf("loadtest: unknown wire %q", c.Wire)
+	}
+	return nil
+}
+
+// Result is the merged outcome of one run. Latencies is sorted ascending.
+type Result struct {
+	Elapsed   time.Duration
+	Requests  int
+	Frames    int
+	Failures  int
+	Latencies []time.Duration
+}
+
+// FramesPerSec is the sustained recognition throughput.
+func (r *Result) FramesPerSec() float64 { return float64(r.Frames) / r.Elapsed.Seconds() }
+
+// ReqPerSec is the request rate.
+func (r *Result) ReqPerSec() float64 { return float64(r.Requests) / r.Elapsed.Seconds() }
+
+// PercentileMS returns the p-quantile (0 < p ≤ 1) request latency in
+// milliseconds, from the exact sorted sample.
+func (r *Result) PercentileMS(p float64) float64 {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(r.Latencies))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(r.Latencies) {
+		idx = len(r.Latencies) - 1
+	}
+	return float64(r.Latencies[idx].Nanoseconds()) / 1e6
+}
+
+// RenderFrames draws a load batch: the three signs cycled across the ±40°
+// recognition envelope. Rendering happens once, outside the measurement.
+func RenderFrames(batch int) ([]*raster.Gray, error) {
+	rend := scene.NewRenderer(scene.Config{})
+	signs := body.AllSigns()
+	azimuths := []float64{0, -25, 25, -40, 40}
+	frames := make([]*raster.Gray, batch)
+	for i := range frames {
+		v := scene.ReferenceView()
+		v.AzimuthDeg = azimuths[i%len(azimuths)]
+		f, err := rend.Render(signs[i%len(signs)], v, body.Options{}, nil)
+		if err != nil {
+			return nil, err
+		}
+		frames[i] = f
+	}
+	return frames, nil
+}
+
+// tally is one operator's lock-free accumulation.
+type tally struct {
+	requests, frames, failures int
+	latencies                  []time.Duration
+}
+
+// Drive runs cfg.Operators concurrent operators against the service at base
+// until cfg.Duration elapses, submitting the given frames each request.
+// Under "mixed", even operators run session streams and odd operators run
+// batches; "raw" submits a payload pre-encoded once per operator (the
+// camera-ring-buffer pattern).
+func Drive(ctx context.Context, base string, cfg Config, frames []*raster.Gray) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	tallies := make([]tally, cfg.Operators)
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for op := 0; op < cfg.Operators; op++ {
+		op := op
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			driveOperator(ctx, base, cfg, op, frames, deadline, &tallies[op])
+		}()
+	}
+	wg.Wait()
+
+	res := Result{Elapsed: time.Since(start)}
+	for i := range tallies {
+		res.Requests += tallies[i].requests
+		res.Frames += tallies[i].frames
+		res.Failures += tallies[i].failures
+		res.Latencies = append(res.Latencies, tallies[i].latencies...)
+	}
+	sort.Slice(res.Latencies, func(i, j int) bool { return res.Latencies[i] < res.Latencies[j] })
+	return res, nil
+}
+
+// driveOperator is one operator's closed loop: request, wait, repeat.
+func driveOperator(ctx context.Context, base string, cfg Config, op int, frames []*raster.Gray, deadline time.Time, tl *tally) {
+	c := client.New(base, nil)
+	c.JSONWire = cfg.Wire == "json"
+	streaming := cfg.Mix == "stream" || (cfg.Mix == "mixed" && op%2 == 0)
+
+	var fw, fh int
+	var payload []byte
+	if cfg.Wire == "raw" {
+		var err error
+		fw, fh, payload, err = client.EncodeRaw(frames)
+		if err != nil {
+			tl.failures++
+			return
+		}
+	}
+
+	var st *client.Stream
+	if streaming {
+		s, err := c.OpenStream(ctx)
+		if err != nil {
+			tl.failures++
+			return
+		}
+		st = s
+		defer func() { _ = st.Close(ctx) }()
+	}
+
+	for time.Now().Before(deadline) {
+		reqStart := time.Now()
+		var results []server.FrameResult
+		var err error
+		switch {
+		case streaming && payload != nil:
+			results, err = st.SubmitRaw(ctx, fw, fh, len(frames), payload)
+		case streaming:
+			results, err = st.Submit(ctx, frames...)
+		case payload != nil:
+			results, err = c.RawBatch(ctx, fw, fh, len(frames), payload)
+		default:
+			results, err = c.RecognizeBatch(ctx, frames)
+		}
+		tl.requests++
+		tl.latencies = append(tl.latencies, time.Since(reqStart))
+		if err != nil {
+			tl.failures++
+			continue
+		}
+		tl.frames += len(results)
+		for _, r := range results {
+			if r.Err != "" && r.Err != server.ErrValueNoSign {
+				tl.failures++
+				break
+			}
+		}
+	}
+}

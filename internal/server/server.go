@@ -1,0 +1,368 @@
+// Package server is the networked recognition service: an HTTP/JSON front
+// over one shared core.System worker pool, so many concurrent operators
+// (ground stations, fleet supervisors, analysis jobs) draw on a single
+// recognition capacity pool instead of each owning a pipeline. The paper's
+// one-drone/one-recogniser loop stays intact underneath; this layer is the
+// ROADMAP's "batch negotiation service" scaling step, shaped after the
+// shared perception boundary of dataflow robotic middlewares.
+//
+// Endpoints:
+//
+//	POST   /v1/recognize           one frame  → one FrameResult
+//	POST   /v1/batch               ordered batch → per-frame FrameResults
+//	POST   /v1/streams             open a session-scoped ordered stream
+//	POST   /v1/streams/{id}/frames submit frames, receive their ordered results
+//	GET    /v1/streams/{id}        session info
+//	DELETE /v1/streams/{id}        close the session
+//	GET    /healthz                liveness + drain signal
+//	GET    /statsz                 pool occupancy, per-endpoint latency, mem
+//
+// Frames travel as JSON (width/height + base64 pixels), raw
+// application/octet-stream planes (the allocation-free hot path: pixels are
+// read straight into pooled raster.Gray buffers) or single image/png bodies.
+// See DESIGN.md §"The service layer" for the wire contracts and drain
+// semantics.
+package server
+
+import (
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"hdc/internal/core"
+	"hdc/internal/pipeline"
+	"hdc/internal/raster"
+)
+
+// Options tunes the service. The zero value serves with the defaults.
+type Options struct {
+	// MaxBatch bounds the frames accepted by one batch or stream-frames
+	// request (default 256).
+	MaxBatch int
+	// MaxBodyBytes caps a request body before any decoding starts (default
+	// 64 MB) — oversized uploads fail fast instead of materialising.
+	MaxBodyBytes int64
+	// StreamIdleTimeout is how long a stream session may sit idle before
+	// the reaper abandons it (default 2 minutes).
+	StreamIdleTimeout time.Duration
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 64 << 20
+	}
+	if o.StreamIdleTimeout <= 0 {
+		o.StreamIdleTimeout = 2 * time.Minute
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+	return o
+}
+
+// Server fronts one core.System. It implements http.Handler; mount it on
+// any mux or serve it directly. Construct with New, stop with Close.
+type Server struct {
+	sys  *core.System
+	opts Options
+	mux  *http.ServeMux
+
+	framePool raster.Pool
+	sessions  *sessionTable
+	started   time.Time
+	draining  atomic.Bool
+
+	statRecognize endpointStats
+	statBatch     endpointStats
+	statStream    endpointStats
+}
+
+// New builds the service over sys. The system's worker pool starts lazily
+// with the first recognition request; the caller keeps ownership of sys and
+// closes it after the server (see Drain for the ordering).
+func New(sys *core.System, opts Options) *Server {
+	s := &Server{
+		sys:  sys,
+		opts: opts.withDefaults(),
+		mux:  http.NewServeMux(),
+	}
+	s.started = s.opts.now()
+	s.sessions = newSessionTable(s.opts.StreamIdleTimeout, s.opts.now)
+
+	s.mux.HandleFunc("POST /v1/recognize", s.instrument(&s.statRecognize, s.handleRecognize))
+	s.mux.HandleFunc("POST /v1/batch", s.instrument(&s.statBatch, s.handleBatch))
+	s.mux.HandleFunc("POST /v1/streams", s.handleStreamCreate)
+	s.mux.HandleFunc("GET /v1/streams/{id}", s.handleStreamInfo)
+	s.mux.HandleFunc("POST /v1/streams/{id}/frames", s.instrument(&s.statStream, s.handleStreamFrames))
+	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.handleStreamDelete)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain flips the server into draining: /healthz answers 503 (so load
+// balancers stop routing here) and new recognition work is refused, while
+// requests already executing finish normally. The full graceful-shutdown
+// order for a process is: Drain → http.Server.Shutdown (waits for in-flight
+// requests) → Close (ends sessions) → core.System.Close (stops the pool).
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Close ends the stream sessions and stops the idle reaper. In-flight
+// session requests finish first; it does not close the underlying system.
+func (s *Server) Close() { s.sessions.close() }
+
+// errDraining is returned to requests refused because the server is
+// draining or its pool has shut down.
+var errDraining = errors.New("server: draining")
+
+// acceptingWork reports whether new recognition work may start.
+func (s *Server) acceptingWork() bool {
+	if s.draining.Load() {
+		return false
+	}
+	if st, started := s.sys.PoolStats(); started && st.Closed {
+		return false
+	}
+	return true
+}
+
+// instrument wraps a work handler with the endpoint's latency/volume
+// accounting. The handler returns how many frames it carried and whether it
+// failed.
+func (s *Server) instrument(st *endpointStats, h func(http.ResponseWriter, *http.Request) (frames int, failed bool)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := s.opts.now()
+		frames, failed := h(w, r)
+		st.record(s.opts.now().Sub(t0), frames, failed)
+	}
+}
+
+// handleRecognize answers POST /v1/recognize: one frame in, one verdict out.
+func (s *Server) handleRecognize(w http.ResponseWriter, r *http.Request) (int, bool) {
+	if !s.acceptingWork() {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return 0, true
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	frames, err := decodeFrames(r, &s.framePool, 1, true)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return 0, true
+	}
+	defer releaseFrames(&s.framePool, frames)
+	results, errs, err := s.sys.RecognizeBatch(frames)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return 1, true
+	}
+	writeJSON(w, http.StatusOK, resultToWire(results[0], errs[0]))
+	return 1, false
+}
+
+// handleBatch answers POST /v1/batch: an ordered batch through the shared
+// pool, one result slot per frame in input order.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (int, bool) {
+	if !s.acceptingWork() {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return 0, true
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	frames, err := decodeFrames(r, &s.framePool, s.opts.MaxBatch, false)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return 0, true
+	}
+	defer releaseFrames(&s.framePool, frames)
+	results, errs, err := s.sys.RecognizeBatch(frames)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return len(frames), true
+	}
+	out := batchResponse{Results: make([]FrameResult, len(frames))}
+	for i := range frames {
+		out.Results[i] = resultToWire(results[i], errs[i])
+	}
+	writeJSON(w, http.StatusOK, out)
+	return len(frames), false
+}
+
+// handleStreamCreate answers POST /v1/streams: opens an ordered session on
+// the shared pool.
+func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
+	if !s.acceptingWork() {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	st, err := s.sys.NewStream()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	stats, _ := s.sys.PoolStats()
+	sess := s.sessions.add(st, stats.StreamWindow)
+	writeJSON(w, http.StatusCreated, streamInfo{ID: sess.id, Window: sess.window})
+}
+
+// handleStreamInfo answers GET /v1/streams/{id}.
+func (s *Server) handleStreamInfo(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("server: unknown stream"))
+		return
+	}
+	writeJSON(w, http.StatusOK, streamInfo{
+		ID: sess.id, Window: sess.window, Submitted: sess.submitted.Load(),
+	})
+}
+
+// handleStreamDelete answers DELETE /v1/streams/{id}: graceful session end.
+func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("server: unknown stream"))
+		return
+	}
+	sess.mu.Lock() // waits for an in-flight frames request to finish
+	if !sess.closed {
+		sess.closed = true
+		sess.st.Close()
+		s.sessions.remove(sess.id)
+	}
+	sess.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleStreamFrames answers POST /v1/streams/{id}/frames: the request's
+// frames enter the session's stream in order and the response carries their
+// results, still in order. Requests on one session are serialised; the
+// stream's in-flight window applies back-pressure by blocking Submit (and
+// therefore the request) rather than buffering unboundedly.
+func (s *Server) handleStreamFrames(w http.ResponseWriter, r *http.Request) (int, bool) {
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("server: unknown stream"))
+		return 0, true
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	frames, err := decodeFrames(r, &s.framePool, s.opts.MaxBatch, false)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return 0, true
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		releaseFrames(&s.framePool, frames)
+		writeError(w, http.StatusGone, errors.New("server: stream closed"))
+		return 0, true
+	}
+	sess.touch(s.opts.now())
+	defer func() { sess.touch(s.opts.now()) }()
+
+	// Submit and collect concurrently, like pipeline.RecognizeBatch: a batch
+	// larger than the stream window would otherwise deadlock against the
+	// back-pressure it is supposed to exercise. claimed counts the frames
+	// whose results WILL be delivered: a Submit that failed after claiming
+	// its sequence number (pool closed under us) still delivers an error
+	// result, a Submit refused outright does not.
+	claimedCh := make(chan int, 1)
+	go func() {
+		claimed := 0
+		for _, f := range frames {
+			err := sess.st.Submit(f)
+			if err == nil {
+				claimed++
+				continue
+			}
+			if errors.Is(err, pipeline.ErrClosed) {
+				claimed++ // sequence claimed; error result en route
+			}
+			break
+		}
+		claimedCh <- claimed
+	}()
+
+	out := batchResponse{Results: make([]FrameResult, len(frames))}
+	results := sess.st.Results()
+	collected := 0
+	claimed := -1
+	pending := claimedCh
+collect:
+	for claimed < 0 || collected < claimed {
+		select {
+		case res, ok := <-results:
+			if !ok {
+				// The channel closes only after every claimed result has
+				// been delivered (and we have consumed the buffer), so the
+				// pool shut down under us and collected == claimed.
+				break collect
+			}
+			out.Results[collected] = resultToWire(res.Res, res.Err)
+			s.framePool.Put(res.Frame)
+			collected++
+		case c := <-pending:
+			claimed = c
+			pending = nil // the goroutine sends exactly once
+		}
+	}
+	if claimed < 0 {
+		claimed = <-claimedCh
+	}
+	// Frames past claimed never entered the stream; answer them as draining
+	// and recycle their buffers ourselves.
+	for i := collected; i < len(frames); i++ {
+		out.Results[i] = FrameResult{Err: ErrValueDraining}
+		s.framePool.Put(frames[i])
+	}
+	sess.submitted.Add(uint64(claimed))
+	// Partial results are still results: the response is 200 with the
+	// undeliverable tail marked draining, so an operator mid-stream can tell
+	// exactly which frames made it.
+	writeJSON(w, http.StatusOK, out)
+	return len(frames), claimed < len(frames)
+}
+
+// handleHealthz answers GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	stats, started := s.sys.PoolStats()
+	if s.draining.Load() || (started && stats.Closed) {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleStatsz answers GET /statsz.
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	pool, started := s.sys.PoolStats()
+	resp := StatsResponse{
+		UptimeS:  s.opts.now().Sub(s.started).Seconds(),
+		Draining: s.draining.Load(),
+		Pool: PoolSnapshot{
+			Started:  started,
+			Closed:   pool.Closed,
+			Workers:  pool.Workers,
+			QueueLen: pool.QueueLen,
+			QueueCap: pool.QueueCap,
+			Streams:  pool.Streams,
+		},
+		Sessions: s.sessions.snapshot(),
+		Endpoints: map[string]EndpointSnapshot{
+			"recognize":     s.statRecognize.snapshot(),
+			"batch":         s.statBatch.snapshot(),
+			"stream_frames": s.statStream.snapshot(),
+		},
+		Mem: memSnapshot(),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,458 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hdc/internal/body"
+	"hdc/internal/core"
+	"hdc/internal/pipeline"
+	"hdc/internal/raster"
+	"hdc/internal/scene"
+	"hdc/internal/server"
+	"hdc/internal/server/client"
+)
+
+// testService spins up a system + service + HTTP listener. The returned
+// cleanup tears all three down in drain order.
+func testService(t testing.TB, opts server.Options, pipeCfg pipeline.Config) (*core.System, *server.Server, *httptest.Server) {
+	t.Helper()
+	sys, err := core.NewSystem(
+		core.WithSceneConfig(scene.Config{Width: 128, Height: 128}),
+		core.WithPipelineConfig(pipeCfg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(sys, opts)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+		sys.Close()
+	})
+	return sys, srv, hs
+}
+
+// signFrames renders one frame per sign in the given sequence. The signs are
+// recognisable at the reference view, so result labels must echo the
+// submission order — the ordering oracle of the concurrency tests.
+func signFrames(t testing.TB, sys *core.System, signs []body.Sign) []*raster.Gray {
+	t.Helper()
+	frames := make([]*raster.Gray, len(signs))
+	for i, s := range signs {
+		f, err := sys.Rend.Render(s, scene.ReferenceView(), body.Options{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[i] = f
+	}
+	return frames
+}
+
+// signPattern builds a deterministic per-operator sign sequence.
+func signPattern(operator, n int) []body.Sign {
+	all := body.AllSigns()
+	signs := make([]body.Sign, n)
+	for i := range signs {
+		signs[i] = all[(operator+i)%len(all)]
+	}
+	return signs
+}
+
+// checkOrdered asserts the results echo the sign sequence, slot for slot.
+func checkOrdered(t *testing.T, tag string, signs []body.Sign, results []server.FrameResult) {
+	t.Helper()
+	if len(results) != len(signs) {
+		t.Fatalf("%s: %d results for %d frames", tag, len(results), len(signs))
+	}
+	for i, r := range results {
+		if !r.OK || r.Sign != signs[i].String() {
+			t.Fatalf("%s: slot %d: got ok=%v sign=%q err=%q, want %q",
+				tag, i, r.OK, r.Sign, r.Err, signs[i])
+		}
+	}
+}
+
+// TestRecognizeSingleFrame drives POST /v1/recognize over all three wire
+// encodings.
+func TestRecognizeSingleFrame(t *testing.T) {
+	sys, _, hs := testService(t, server.Options{}, pipeline.Config{Workers: 2})
+	frame := signFrames(t, sys, []body.Sign{body.SignNo})[0]
+
+	for _, mode := range []string{"raw", "json"} {
+		c := client.New(hs.URL, nil)
+		c.JSONWire = mode == "json"
+		res, err := c.Recognize(context.Background(), frame)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if !res.OK || res.Sign != "No" {
+			t.Fatalf("%s: got %+v, want No", mode, res)
+		}
+		if res.Confidence <= 0 || res.LatencyNS <= 0 {
+			t.Fatalf("%s: missing diagnostics: %+v", mode, res)
+		}
+	}
+}
+
+// TestBatchOrdering pins input-order results on /v1/batch.
+func TestBatchOrdering(t *testing.T) {
+	sys, _, hs := testService(t, server.Options{}, pipeline.Config{Workers: 4})
+	signs := signPattern(0, 12)
+	frames := signFrames(t, sys, signs)
+	c := client.New(hs.URL, nil)
+	results, err := c.RecognizeBatch(context.Background(), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOrdered(t, "batch", signs, results)
+}
+
+// TestManyOperatorsSharedPool is the acceptance-criterion test: 12
+// concurrent operators — batch and stream traffic mixed — share one pool,
+// and every stream sees its own results strictly in submission order.
+func TestManyOperatorsSharedPool(t *testing.T) {
+	sys, _, hs := testService(t, server.Options{}, pipeline.Config{Workers: 4})
+
+	const operators = 12 // ≥8 required; half stream, half batch
+	const perOp = 9      // frames per operator, 3 requests of 3 on streams
+
+	// Render per-operator frame sets up front so operator goroutines only
+	// exercise the service (render is not what we are testing).
+	patterns := make([][]body.Sign, operators)
+	frames := make([][]*raster.Gray, operators)
+	for op := 0; op < operators; op++ {
+		patterns[op] = signPattern(op, perOp)
+		frames[op] = signFrames(t, sys, patterns[op])
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, operators)
+	for op := 0; op < operators; op++ {
+		op := op
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			c := client.New(hs.URL, nil)
+			c.JSONWire = op%4 == 1 // mix wire encodings too
+			if op%2 == 0 {
+				// Stream operator: three ordered submissions on one session.
+				st, err := c.OpenStream(ctx)
+				if err != nil {
+					errCh <- fmt.Errorf("op %d: open: %w", op, err)
+					return
+				}
+				var all []server.FrameResult
+				for i := 0; i < perOp; i += 3 {
+					rs, err := st.Submit(ctx, frames[op][i:i+3]...)
+					if err != nil {
+						errCh <- fmt.Errorf("op %d: submit: %w", op, err)
+						return
+					}
+					all = append(all, rs...)
+				}
+				if err := st.Close(ctx); err != nil {
+					errCh <- fmt.Errorf("op %d: close: %w", op, err)
+					return
+				}
+				for i, r := range all {
+					if !r.OK || r.Sign != patterns[op][i].String() {
+						errCh <- fmt.Errorf("op %d: stream slot %d: got %q want %q (err=%q)",
+							op, i, r.Sign, patterns[op][i], r.Err)
+						return
+					}
+				}
+			} else {
+				// Batch operator: whole set in one request.
+				rs, err := c.RecognizeBatch(ctx, frames[op])
+				if err != nil {
+					errCh <- fmt.Errorf("op %d: batch: %w", op, err)
+					return
+				}
+				for i, r := range rs {
+					if !r.OK || r.Sign != patterns[op][i].String() {
+						errCh <- fmt.Errorf("op %d: batch slot %d: got %q want %q (err=%q)",
+							op, i, r.Sign, patterns[op][i], r.Err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// The shared pool served everyone: statsz shows the traffic.
+	stats, err := client.New(hs.URL, nil).Statsz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Pool.Started || stats.Pool.Workers != 4 {
+		t.Fatalf("pool snapshot: %+v", stats.Pool)
+	}
+	wantFrames := uint64(operators / 2 * perOp)
+	if got := stats.Endpoints["batch"].Frames; got != wantFrames {
+		t.Errorf("batch frames: got %d, want %d", got, wantFrames)
+	}
+	if got := stats.Endpoints["stream_frames"].Frames; got != wantFrames {
+		t.Errorf("stream frames: got %d, want %d", got, wantFrames)
+	}
+	if stats.Sessions.Created != uint64(operators/2) {
+		t.Errorf("sessions created: got %d, want %d", stats.Sessions.Created, operators/2)
+	}
+}
+
+// TestGracefulDrain closes the system while batch and stream requests are in
+// flight: every request must come back clean — full results, a
+// draining-marked tail, or a 503 — and the server must not panic or hang.
+func TestGracefulDrain(t *testing.T) {
+	sys, srv, hs := testService(t, server.Options{}, pipeline.Config{Workers: 2})
+
+	const operators = 8
+	signs := signPattern(0, 6)
+	frameSets := make([][]*raster.Gray, operators)
+	for op := range frameSets {
+		frameSets[op] = signFrames(t, sys, signs)
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, operators*4)
+	for op := 0; op < operators; op++ {
+		op := op
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			ctx := context.Background()
+			c := client.New(hs.URL, nil)
+			for round := 0; ; round++ {
+				var err error
+				if op%2 == 0 {
+					_, err = c.RecognizeBatch(ctx, frameSets[op])
+				} else {
+					var st *client.Stream
+					st, err = c.OpenStream(ctx)
+					if err == nil {
+						_, err = st.Submit(ctx, frameSets[op]...)
+					}
+				}
+				if err != nil {
+					// The only acceptable failure is the drain signal.
+					if !errors.Is(err, client.ErrDraining) {
+						errCh <- fmt.Errorf("op %d round %d: %v", op, round, err)
+					}
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	time.Sleep(50 * time.Millisecond) // let requests pile onto the pool
+	srv.Drain()
+	sys.Close() // drain mid-flight: the satellite fix under test
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// After the drain: healthz flips to 503 and new work is refused.
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after drain: %d, want 503", resp.StatusCode)
+	}
+	if _, err := client.New(hs.URL, nil).RecognizeBatch(context.Background(), frameSets[0]); !errors.Is(err, client.ErrDraining) {
+		t.Fatalf("batch after drain: %v, want draining", err)
+	}
+}
+
+// TestStreamLifecycle covers session metadata, deletion and the error
+// surface for unknown/closed streams.
+func TestStreamLifecycle(t *testing.T) {
+	sys, _, hs := testService(t, server.Options{}, pipeline.Config{Workers: 2})
+	c := client.New(hs.URL, nil)
+	ctx := context.Background()
+
+	st, err := c.OpenStream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Window <= 0 {
+		t.Fatalf("stream window not reported: %+v", st)
+	}
+	signs := signPattern(0, 3)
+	rs, err := st.Submit(ctx, signFrames(t, sys, signs)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOrdered(t, "stream", signs, rs)
+
+	// Info reflects the submissions.
+	resp, err := http.Get(hs.URL + "/v1/streams/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream info: %d", resp.StatusCode)
+	}
+
+	if err := st.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Closed and unknown streams answer 404 (the session is unlinked).
+	var apiErr *client.APIError
+	_, err = st.Submit(ctx, signFrames(t, sys, signs[:1])...)
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("submit on closed stream: %v, want 404", err)
+	}
+}
+
+// TestIdleStreamReaped pins the reaper: a session idle past the timeout is
+// abandoned and its id answers 404 afterwards.
+func TestIdleStreamReaped(t *testing.T) {
+	_, _, hs := testService(t,
+		server.Options{StreamIdleTimeout: 40 * time.Millisecond},
+		pipeline.Config{Workers: 2})
+	c := client.New(hs.URL, nil)
+	ctx := context.Background()
+
+	st, err := c.OpenStream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(hs.URL + "/v1/streams/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			break // reaped
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("idle stream never reaped")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	stats, err := c.Statsz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sessions.Reaped == 0 {
+		t.Fatalf("reap not counted: %+v", stats.Sessions)
+	}
+}
+
+// TestBadRequests covers the wire-validation surface.
+func TestBadRequests(t *testing.T) {
+	_, _, hs := testService(t, server.Options{MaxBatch: 4}, pipeline.Config{Workers: 1})
+
+	cases := []struct {
+		name string
+		do   func() (*http.Response, error)
+		want int
+	}{
+		{"bad json", func() (*http.Response, error) {
+			return http.Post(hs.URL+"/v1/recognize", "application/json", strReader(`{"width":`))
+		}, http.StatusBadRequest},
+		{"geometry mismatch", func() (*http.Response, error) {
+			return http.Post(hs.URL+"/v1/recognize", "application/json",
+				strReader(`{"width":4,"height":4,"pixels":"AAAA"}`))
+		}, http.StatusBadRequest},
+		{"missing raw headers", func() (*http.Response, error) {
+			return http.Post(hs.URL+"/v1/recognize", "application/octet-stream", strReader("xx"))
+		}, http.StatusBadRequest},
+		{"oversized batch", func() (*http.Response, error) {
+			req, _ := http.NewRequest(http.MethodPost, hs.URL+"/v1/batch", strReader("xxxxxxxx"))
+			req.Header.Set("Content-Type", "application/octet-stream")
+			req.Header.Set("X-Frame-Width", "1")
+			req.Header.Set("X-Frame-Height", "1")
+			req.Header.Set("X-Frame-Count", "8")
+			return http.DefaultClient.Do(req)
+		}, http.StatusBadRequest},
+		{"unknown stream", func() (*http.Response, error) {
+			return http.Post(hs.URL+"/v1/streams/zzz/frames", "application/json", strReader(`{}`))
+		}, http.StatusNotFound},
+		// w*h for 2^32 × 2^32 wraps to 0 on 64-bit ints; the geometry check
+		// must reject it before a worker builds a frame with an empty pixel
+		// buffer and panics (process-killing, since workers have no recover).
+		{"overflowing raw geometry", func() (*http.Response, error) {
+			req, _ := http.NewRequest(http.MethodPost, hs.URL+"/v1/recognize", strReader(""))
+			req.Header.Set("Content-Type", "application/octet-stream")
+			req.Header.Set("X-Frame-Width", "4294967296")
+			req.Header.Set("X-Frame-Height", "4294967296")
+			return http.DefaultClient.Do(req)
+		}, http.StatusBadRequest},
+		{"overflowing json geometry", func() (*http.Response, error) {
+			return http.Post(hs.URL+"/v1/recognize", "application/json",
+				strReader(`{"width":4294967296,"height":4294967296,"pixels":""}`))
+		}, http.StatusBadRequest},
+		{"wrapping-negative geometry", func() (*http.Response, error) {
+			return http.Post(hs.URL+"/v1/recognize", "application/json",
+				strReader(`{"width":3037000500,"height":3037000500,"pixels":""}`))
+		}, http.StatusBadRequest},
+		{"png bomb header", func() (*http.Response, error) {
+			return http.Post(hs.URL+"/v1/recognize", "image/png",
+				bytes.NewReader(pngHeader(100000, 100000)))
+		}, http.StatusBadRequest},
+		{"oversized body", func() (*http.Response, error) {
+			return http.Post(hs.URL+"/v1/batch", "application/json",
+				bytes.NewReader(make([]byte, 64<<20+1024)))
+		}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := tc.do()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: got %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func strReader(s string) io.Reader { return strings.NewReader(s) }
+
+// pngHeader builds a syntactically valid PNG signature + IHDR declaring the
+// given (huge) dimensions — a decompression bomb's first 33 bytes. The
+// server must reject it from the header without running the pixel decoder.
+func pngHeader(w, h int) []byte {
+	ihdr := make([]byte, 13)
+	binary.BigEndian.PutUint32(ihdr[0:], uint32(w))
+	binary.BigEndian.PutUint32(ihdr[4:], uint32(h))
+	ihdr[8] = 8 // bit depth
+	ihdr[9] = 0 // grayscale
+	out := []byte{0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n'}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(ihdr)))
+	out = append(out, lenBuf[:]...)
+	chunk := append([]byte("IHDR"), ihdr...)
+	out = append(out, chunk...)
+	var crcBuf [4]byte
+	binary.BigEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(chunk))
+	return append(out, crcBuf[:]...)
+}

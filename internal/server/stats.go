@@ -1,0 +1,171 @@
+package server
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// stats.go instruments the service: every endpoint keeps lock-free counters
+// and an exponential latency histogram, and /statsz snapshots them together
+// with the recognition pool's occupancy. The histogram trades exactness for
+// zero allocation on the hot path: buckets double from 16 µs up, so the p50
+// and p99 estimates carry at most one-bucket (≈2×) resolution error — the
+// right fidelity for a load signal, and the loadgen reports exact
+// percentiles when precision matters (E19).
+
+// latencyBuckets is the number of power-of-two histogram buckets. Bucket i
+// spans [16µs·2^i, 16µs·2^(i+1)); the last bucket is open-ended (≈9 min).
+const (
+	latencyBuckets   = 25
+	latencyBucket0Ns = 16_000 // 16 µs
+)
+
+// bucketOf maps a duration to its histogram bucket.
+func bucketOf(d time.Duration) int {
+	ns := d.Nanoseconds()
+	b := 0
+	for lim := int64(latencyBucket0Ns); ns >= lim && b < latencyBuckets-1; lim *= 2 {
+		b++
+	}
+	return b
+}
+
+// bucketUpperNs is the inclusive upper bound of bucket b in nanoseconds.
+func bucketUpperNs(b int) int64 {
+	return int64(latencyBucket0Ns) << uint(b)
+}
+
+// endpointStats is the per-endpoint counter set. All fields are atomics;
+// record is safe from any number of request goroutines.
+type endpointStats struct {
+	count   atomic.Uint64
+	errors  atomic.Uint64
+	frames  atomic.Uint64
+	totalNs atomic.Int64
+	maxNs   atomic.Int64
+	hist    [latencyBuckets]atomic.Uint64
+}
+
+// record logs one request: its wall time, how many frames it carried and
+// whether it failed.
+func (e *endpointStats) record(d time.Duration, frames int, failed bool) {
+	e.count.Add(1)
+	e.frames.Add(uint64(frames))
+	if failed {
+		e.errors.Add(1)
+	}
+	ns := d.Nanoseconds()
+	e.totalNs.Add(ns)
+	for {
+		old := e.maxNs.Load()
+		if ns <= old || e.maxNs.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	e.hist[bucketOf(d)].Add(1)
+}
+
+// EndpointSnapshot is the JSON form of one endpoint's counters.
+type EndpointSnapshot struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	Frames uint64  `json:"frames"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// snapshot folds the counters into their wire form. The percentile estimates
+// are the upper bounds of the histogram buckets holding the p50/p99 ranks.
+func (e *endpointStats) snapshot() EndpointSnapshot {
+	s := EndpointSnapshot{
+		Count:  e.count.Load(),
+		Errors: e.errors.Load(),
+		Frames: e.frames.Load(),
+		MaxMS:  float64(e.maxNs.Load()) / 1e6,
+	}
+	if s.Count > 0 {
+		s.MeanMS = float64(e.totalNs.Load()) / float64(s.Count) / 1e6
+	}
+	var counts [latencyBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = e.hist[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return s
+	}
+	s.P50MS = float64(percentileUpperNs(counts[:], total, 50)) / 1e6
+	s.P99MS = float64(percentileUpperNs(counts[:], total, 99)) / 1e6
+	return s
+}
+
+// percentileUpperNs returns the upper bound of the bucket containing the
+// p-th percentile rank — the first sample that exceeds p% of the
+// population, so a 1-in-100 tail still surfaces in the p99.
+func percentileUpperNs(counts []uint64, total uint64, p int) int64 {
+	rank := total*uint64(p)/100 + 1
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			return bucketUpperNs(i)
+		}
+	}
+	return bucketUpperNs(len(counts) - 1)
+}
+
+// PoolSnapshot is the recognition pool's occupancy on the wire.
+type PoolSnapshot struct {
+	Started  bool `json:"started"`
+	Closed   bool `json:"closed"`
+	Workers  int  `json:"workers"`
+	QueueLen int  `json:"queue_len"`
+	QueueCap int  `json:"queue_cap"`
+	Streams  int  `json:"streams"`
+}
+
+// SessionSnapshot summarises the stream-session table.
+type SessionSnapshot struct {
+	Open    int    `json:"open"`
+	Created uint64 `json:"created"`
+	Reaped  uint64 `json:"reaped"`
+}
+
+// MemSnapshot carries the allocation counters behind the latency numbers:
+// TotalAlloc only ever grows, so its derivative under load is the service's
+// true allocation rate (the pooled wire path should keep it near flat).
+type MemSnapshot struct {
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	NumGC           uint32 `json:"num_gc"`
+	Goroutines      int    `json:"goroutines"`
+}
+
+// StatsResponse is the /statsz body.
+type StatsResponse struct {
+	UptimeS   float64                     `json:"uptime_s"`
+	Draining  bool                        `json:"draining"`
+	Pool      PoolSnapshot                `json:"pool"`
+	Sessions  SessionSnapshot             `json:"sessions"`
+	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
+	Mem       MemSnapshot                 `json:"mem"`
+}
+
+// memSnapshot reads the runtime counters.
+func memSnapshot() MemSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return MemSnapshot{
+		HeapAllocBytes:  ms.HeapAlloc,
+		TotalAllocBytes: ms.TotalAlloc,
+		NumGC:           ms.NumGC,
+		Goroutines:      runtime.NumGoroutine(),
+	}
+}

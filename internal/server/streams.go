@@ -1,0 +1,178 @@
+package server
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdc/internal/pipeline"
+)
+
+// streams.go manages session-scoped recognition streams: an operator opens a
+// stream (POST /v1/streams), pushes ordered frame batches at it (POST
+// /v1/streams/{id}/frames) and either closes it (DELETE) or walks away — an
+// idle reaper abandons sessions that stop talking, so a disconnected client
+// can never strand pool capacity. Requests on one session are serialised
+// (the session mutex), which is what gives a stream its ordering guarantee
+// across requests; throughput comes from many sessions sharing the pool.
+
+// session is one live stream.
+type session struct {
+	id string
+	st *pipeline.Stream
+
+	// mu serialises frame requests on this session and excludes the reaper
+	// from a session that is mid-request (the reaper uses TryLock).
+	mu        sync.Mutex
+	closed    bool          // under mu: session ended (DELETE or reap)
+	window    int           // the stream's in-flight frame bound
+	submitted atomic.Uint64 // frames accepted over the session's life
+	lastUsed  atomic.Int64  // unix nanos of the last request
+}
+
+// touch refreshes the idle clock.
+func (s *session) touch(now time.Time) { s.lastUsed.Store(now.UnixNano()) }
+
+// sessionTable holds the live sessions and runs the reaper.
+type sessionTable struct {
+	mu     sync.Mutex
+	m      map[string]*session
+	nextID atomic.Uint64
+
+	created atomic.Uint64
+	reaped  atomic.Uint64
+
+	idle time.Duration
+	now  func() time.Time
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+func newSessionTable(idle time.Duration, now func() time.Time) *sessionTable {
+	t := &sessionTable{
+		m:    make(map[string]*session),
+		idle: idle,
+		now:  now,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go t.reapLoop()
+	return t
+}
+
+// add registers a new session over st and returns it.
+func (t *sessionTable) add(st *pipeline.Stream, window int) *session {
+	s := &session{
+		id:     "s" + strconv.FormatUint(t.nextID.Add(1), 10),
+		st:     st,
+		window: window,
+	}
+	s.touch(t.now())
+	t.mu.Lock()
+	t.m[s.id] = s
+	t.mu.Unlock()
+	t.created.Add(1)
+	return s
+}
+
+// get looks a session up.
+func (t *sessionTable) get(id string) (*session, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.m[id]
+	return s, ok
+}
+
+// remove unlinks a session from the table (the caller already holds the
+// session's mutex and has marked it closed).
+func (t *sessionTable) remove(id string) {
+	t.mu.Lock()
+	delete(t.m, id)
+	t.mu.Unlock()
+}
+
+// snapshot reports table occupancy for /statsz.
+func (t *sessionTable) snapshot() SessionSnapshot {
+	t.mu.Lock()
+	open := len(t.m)
+	t.mu.Unlock()
+	return SessionSnapshot{
+		Open:    open,
+		Created: t.created.Load(),
+		Reaped:  t.reaped.Load(),
+	}
+}
+
+// close stops the reaper and ends every session: in-flight requests finish
+// (we take each session's mutex), later ones see a closed session.
+func (t *sessionTable) close() {
+	t.stopOnce.Do(func() { close(t.stop) })
+	<-t.done
+
+	t.mu.Lock()
+	open := make([]*session, 0, len(t.m))
+	for _, s := range t.m {
+		open = append(open, s)
+	}
+	t.m = make(map[string]*session)
+	t.mu.Unlock()
+
+	for _, s := range open {
+		s.mu.Lock()
+		if !s.closed {
+			s.closed = true
+			s.st.Abandon()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// reapLoop abandons sessions that have been idle past the timeout. A session
+// mid-request cannot be reaped: TryLock fails while the request holds the
+// mutex, and the request refreshes lastUsed on the way out.
+func (t *sessionTable) reapLoop() {
+	defer close(t.done)
+	interval := t.idle / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C:
+			t.reapOnce()
+		}
+	}
+}
+
+// reapOnce scans for expired sessions.
+func (t *sessionTable) reapOnce() {
+	cutoff := t.now().Add(-t.idle).UnixNano()
+	t.mu.Lock()
+	expired := make([]*session, 0, 4)
+	for _, s := range t.m {
+		if s.lastUsed.Load() < cutoff {
+			expired = append(expired, s)
+		}
+	}
+	t.mu.Unlock()
+
+	for _, s := range expired {
+		if !s.mu.TryLock() {
+			continue // mid-request: it will refresh lastUsed when done
+		}
+		if !s.closed && s.lastUsed.Load() < cutoff {
+			s.closed = true
+			s.st.Abandon()
+			t.remove(s.id)
+			t.reaped.Add(1)
+		}
+		s.mu.Unlock()
+	}
+}
