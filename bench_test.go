@@ -415,6 +415,53 @@ func BenchmarkPipelineBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkIngestRing — the live-feed ingest layer's producer cost: Offer
+// against a ring whose pool is saturated, i.e. the worst case a camera loop
+// pays per frame (an eviction plus a counter update, never a block). The
+// per-op time must stay in the sub-microsecond range that makes Offer safe
+// on a capture thread.
+func BenchmarkIngestRing(b *testing.B) {
+	rec, rend := mustPipeline(b)
+	p, err := pipeline.New(rec, pipeline.Config{Workers: 1, QueueDepth: 1, StreamWindow: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	// A worker stage slow enough that the ring is permanently saturated.
+	st, err := p.NewProcStream(func(sc *recognizer.Scratch, seq uint64, frame *raster.Gray) (recognizer.Result, error) {
+		time.Sleep(100 * time.Microsecond)
+		return recognizer.Result{}, nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for range st.Results() {
+		}
+	}()
+	src, err := pipeline.NewSource(st, pipeline.SourceConfig{Capacity: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := mustFrame(b, rend, body.SignNo, scene.ReferenceView())
+	// A single Offer is a few hundred nanoseconds — below what the CI
+	// gate's one-iteration samples can time reliably — so each benchmark op
+	// is a burst of 16384 Offers (one op ≈ sixteen seconds of a 1 kfps camera loop).
+	const burst = 16384
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < burst; j++ {
+			if err := src.Offer(frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	src.Close()
+	st.Close()
+}
+
 // BenchmarkE16FleetPartition — fleet extension: trap partitioning across
 // fleet sizes.
 func BenchmarkE16FleetPartition(b *testing.B) {

@@ -4,7 +4,14 @@
 //
 //	hdcserve -addr :8080 -workers 8                 # serve
 //	hdcserve -dict refs.json                        # serve a shipped dictionary
+//	hdcserve -gesture=false                         # static signs only
+//	hdcserve -gesture-buffer 96                     # deeper live-feed ingest ring
 //	hdcserve -loadgen -operators 16 -duration 5s    # measured E19 experiment
+//
+// The gesture endpoints (POST /v1/gesture, /v1/gesture/streams live
+// sessions with ring-buffer ingest) are served by default; live sessions
+// shed oldest frames instead of stalling when offered load exceeds the
+// pool, with drop totals on /statsz.
 //
 // Serving mode drains gracefully on SIGINT/SIGTERM: /healthz flips to 503,
 // in-flight requests finish, stream sessions end, then the pool stops.
@@ -26,6 +33,7 @@ import (
 	"time"
 
 	"hdc/internal/core"
+	"hdc/internal/gesture"
 	"hdc/internal/pipeline"
 	"hdc/internal/recognizer"
 	"hdc/internal/scene"
@@ -50,6 +58,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		dict     = fs.String("dict", "", "load a reference dictionary file (default: render the built-in references)")
 		idle     = fs.Duration("idle-timeout", 2*time.Minute, "reap stream sessions idle this long")
 		maxBatch = fs.Int("max-batch", 256, "largest accepted batch / stream-frames request")
+		gest     = fs.Bool("gesture", true, "serve the dynamic-gesture endpoints (/v1/gesture + live ring-buffer sessions)")
+		gestBuf  = fs.Int("gesture-buffer", 0, "live gesture ingest ring capacity in frames (0 = two observation windows)")
 
 		loadgen   = fs.Bool("loadgen", false, "drive synthetic load instead of serving (the E19 experiment)")
 		operators = fs.Int("operators", 8, "loadgen: concurrent synthetic operators")
@@ -84,7 +94,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		return 0
 	}
 
-	sys, srv, err := buildService(*workers, *queue, *window, *dict, *idle, *maxBatch)
+	sys, srv, err := buildService(*workers, *queue, *window, *dict, *idle, *maxBatch, *gest, *gestBuf)
 	if err != nil {
 		fmt.Fprintln(stderr, "hdcserve:", err)
 		return 1
@@ -97,7 +107,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 }
 
 // buildService assembles the system and the HTTP service over it.
-func buildService(workers, queue, window int, dict string, idle time.Duration, maxBatch int) (*core.System, *server.Server, error) {
+func buildService(workers, queue, window int, dict string, idle time.Duration,
+	maxBatch int, gest bool, gestBuf int) (*core.System, *server.Server, error) {
 	sys, err := core.NewSystem(
 		core.WithSceneConfig(scene.Config{}),
 		core.WithPipelineConfig(pipeline.Config{
@@ -112,10 +123,19 @@ func buildService(workers, queue, window int, dict string, idle time.Duration, m
 			return nil, nil, err
 		}
 	}
-	srv := server.New(sys, server.Options{
+	opts := server.Options{
 		MaxBatch:          maxBatch,
 		StreamIdleTimeout: idle,
-	})
+		GestureBuffer:     gestBuf,
+	}
+	if gest {
+		rec, err := gesture.NewRecognizer(gesture.Config{}, sys.Rend, scene.ReferenceView())
+		if err != nil {
+			return nil, nil, fmt.Errorf("gesture templates: %w", err)
+		}
+		opts.Gesture = rec
+	}
+	srv := server.New(sys, opts)
 	return sys, srv, nil
 }
 

@@ -10,7 +10,10 @@ import (
 	"math/rand"
 
 	"hdc/internal/body"
+	"hdc/internal/core"
 	"hdc/internal/gesture"
+	"hdc/internal/pipeline"
+	"hdc/internal/raster"
 	"hdc/internal/scene"
 )
 
@@ -41,6 +44,45 @@ func main() {
 			fmt.Printf("  %-7s performed from phase %.2f → %s\n", g, phase, status)
 		}
 	}
+
+	fmt.Println()
+	fmt.Println("live feed through the shared worker pool (ring-buffer ingest):")
+	sys, err := core.NewSystem(core.WithPipelineConfig(pipeline.Config{Workers: 2}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	var pool raster.Pool
+	live, err := rec.NewLive(sys, gesture.LiveConfig{OnFrame: pool.Put})
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for m := range live.Matches() {
+			if m.Err == nil {
+				fmt.Printf("  window ending at frame %d → %v (dist %.2f)\n", m.End, m.Match.Gesture, m.Match.Dist)
+			}
+		}
+	}()
+	for i := 0; i < 72; i++ { // three cycles of Pump at camera cadence
+		fig, err := gesture.FigureAt(gesture.GesturePump, float64(i)/24, body.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		frame := pool.Get(256, 256)
+		if _, err := rend.RenderFiguresInto(frame, []body.Figure{fig}, scene.ReferenceView(), rng); err != nil {
+			log.Fatal(err)
+		}
+		if err := live.Offer(frame); err != nil { // never blocks: overload drops oldest
+			log.Fatal(err)
+		}
+	}
+	live.Close()
+	<-done
+	st := live.Stats()
+	fmt.Printf("  feed: %d offered, %d dropped, %d windows classified\n", st.Accepted, st.Dropped, st.Windows)
 
 	fmt.Println()
 	fmt.Println("a static Attention sign against the gesture recogniser (must be rejected):")

@@ -42,6 +42,18 @@ func (s *System) NewStream() (*pipeline.Stream, error) {
 	return p.NewStream()
 }
 
+// NewProcStream opens an ordered stream whose frames run a custom per-frame
+// stage (pipeline.Proc) on the shared pool's workers instead of sign
+// recognition — the hook the gesture recogniser uses to share the system's
+// recognition capacity. It satisfies gesture.StreamPool.
+func (s *System) NewProcStream(proc pipeline.Proc) (*pipeline.Stream, error) {
+	p, err := s.ensurePipeline()
+	if err != nil {
+		return nil, err
+	}
+	return p.NewProcStream(proc)
+}
+
 // RecognizeBatch recognises a batch of frames on the shared worker pool and
 // returns the results in input order with one error slot per frame (nil for
 // an accepted sign, recognizer.ErrNoSign or a vision error otherwise).

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"hdc/internal/body"
+	"hdc/internal/core"
+	"hdc/internal/gesture"
+	"hdc/internal/pipeline"
+	"hdc/internal/raster"
+	"hdc/internal/scene"
+	"hdc/internal/telemetry"
+)
+
+// E20Ingest measures the live-feed ingest layer under overload: a synthetic
+// camera performs the Wave gesture at increasing frame rates against a
+// deliberately small recognition pool, with a bounded drop-oldest ring
+// (pipeline.Source) between capture and the pool. The capture side must
+// hold its cadence at every offered rate — Offer latency stays in
+// microseconds — while the overflow surfaces as dropped frames and the
+// retained (freshest) frames still classify the gesture correctly. This is
+// the degradation contract the ROADMAP's "multi-camera ring-buffer ingest"
+// step calls for: a slow pool costs frames, never capture stalls.
+func E20Ingest() (string, error) {
+	sys, err := core.NewSystem(
+		core.WithSceneConfig(scene.Config{}),
+		core.WithPipelineConfig(pipeline.Config{Workers: 2, QueueDepth: 2, StreamWindow: 4}),
+	)
+	if err != nil {
+		return "", err
+	}
+	defer sys.Close()
+	rec, err := gesture.NewRecognizer(gesture.Config{}, sys.Rend, scene.ReferenceView())
+	if err != nil {
+		return "", err
+	}
+
+	// One camera loop of the gesture, rendered once outside the measurement.
+	const cycles = 12
+	cycle := make([]*raster.Gray, 24)
+	for i := range cycle {
+		fig, err := gesture.FigureAt(gesture.GestureWave, float64(i)/24, body.Options{})
+		if err != nil {
+			return "", err
+		}
+		cycle[i], err = sys.Rend.RenderFigure(fig, scene.ReferenceView(), nil)
+		if err != nil {
+			return "", err
+		}
+	}
+
+	tab := telemetry.NewTable("camera pace", "offered", "dropped", "drop %",
+		"windows", "Wave verdicts", "max Offer µs")
+	for _, pace := range []time.Duration{0, 2 * time.Millisecond, 8 * time.Millisecond} {
+		l, err := rec.NewLive(sys, gesture.LiveConfig{Buffer: 48})
+		if err != nil {
+			return "", err
+		}
+		verdicts := make(chan int)
+		go func() {
+			wave := 0
+			for m := range l.Matches() {
+				if m.Err == nil && m.Match.Gesture == gesture.GestureWave {
+					wave++
+				}
+			}
+			verdicts <- wave
+		}()
+
+		var maxOffer time.Duration
+		for c := 0; c < cycles; c++ {
+			for _, f := range cycle {
+				t0 := time.Now()
+				if err := l.Offer(f); err != nil {
+					return "", err
+				}
+				if d := time.Since(t0); d > maxOffer {
+					maxOffer = d
+				}
+				if pace > 0 {
+					time.Sleep(pace)
+				}
+			}
+		}
+		l.Close()
+		wave := <-verdicts
+		st := l.Stats()
+
+		paceLabel := "unthrottled"
+		if pace > 0 {
+			paceLabel = fmt.Sprintf("%.0f fps", float64(time.Second)/float64(pace))
+		}
+		tab.AddRow(
+			paceLabel,
+			fmt.Sprintf("%d", st.Accepted),
+			fmt.Sprintf("%d", st.Dropped),
+			fmt.Sprintf("%.0f%%", 100*float64(st.Dropped)/float64(st.Accepted)),
+			fmt.Sprintf("%d", st.Windows),
+			fmt.Sprintf("%d", wave),
+			fmt.Sprintf("%.0f", float64(maxOffer.Microseconds())),
+		)
+	}
+
+	var sb strings.Builder
+	sb.WriteString("Paper baseline: a strictly single-frame, single-threaded prototype —\n")
+	sb.WriteString("capture waits for recognition. Extension: internal/gesture (the §V\n")
+	sb.WriteString("dynamic marshalling signals) now runs its\n")
+	sb.WriteString("observation windows through the shared worker pool (a pipeline.Proc\n")
+	sb.WriteString("feature stage on pooled vision scratches) behind a bounded drop-oldest\n")
+	sb.WriteString("ring (pipeline.Source). A 2-worker pool is offered a Wave feed at\n")
+	sb.WriteString("increasing rates; the ring holds 48 frames (two windows).\n\n")
+	sb.WriteString(tab.Markdown())
+	sb.WriteString(fmt.Sprintf("\nHost: GOMAXPROCS=%d, NumCPU=%d; %d frames offered per row.\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU(), cycles*len(cycle)))
+	sb.WriteString("Offer never blocks — its worst case stays in microseconds at every\n")
+	sb.WriteString("rate, so capture cadence is preserved — while overload converts to\n")
+	sb.WriteString("dropped (oldest) frames and the surviving windows still read the\n")
+	sb.WriteString("gesture. The same machinery serves remotely as POST /v1/gesture and\n")
+	sb.WriteString("the /v1/gesture/streams live sessions (hdcserve -gesture), with the\n")
+	sb.WriteString("drop totals on /statsz as ingest_accepted/ingest_dropped.\n")
+	return sb.String(), nil
+}

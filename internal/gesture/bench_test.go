@@ -1,0 +1,36 @@
+package gesture
+
+import (
+	"testing"
+
+	"hdc/internal/body"
+	"hdc/internal/scene"
+)
+
+// BenchmarkGestureClassify times one sliding-window classification against
+// all three templates on a warm scratch — the per-window cost a live feed
+// pays at every stride. The template cache and scratch make the steady
+// state allocation-free; -benchmem pins that.
+func BenchmarkGestureClassify(b *testing.B) {
+	rend := scene.NewRenderer(scene.Config{})
+	r, err := NewRecognizer(Config{}, rend, scene.ReferenceView())
+	if err != nil {
+		b.Fatal(err)
+	}
+	topX, topY, err := r.featureSeries(GestureWave, scene.ReferenceView(), 0,
+		body.Options{}, nil, r.cfg.FramesPerCycle, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs := &ClassifyScratch{}
+	if _, err := r.ClassifyWith(cs, topX, topY); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ClassifyWith(cs, topX, topY); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

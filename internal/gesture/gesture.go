@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"hdc/internal/body"
+	"hdc/internal/raster"
 	"hdc/internal/scene"
 	"hdc/internal/timeseries"
 	"hdc/internal/vision"
@@ -119,14 +121,42 @@ func ExtractFeatures(mask *vision.Binary) (Features, error) {
 	if err != nil {
 		return Features{}, err
 	}
-	w := comp.MaxX - comp.MinX
-	h := comp.MaxY - comp.MinY
-	if w <= 0 || h <= 0 {
+	return FeaturesFromComponent(comp)
+}
+
+// FeaturesFromComponent computes the features from component statistics
+// alone — the allocation-free path used by the pipeline stage, which gets
+// its component from a worker's vision.Scratch. Component bounds are
+// inclusive pixel coordinates, so a component spanning columns MinX..MaxX
+// is MaxX−MinX+1 pixels wide: the former w = MaxX−MinX under-measured every
+// box by one pixel, biasing every Aspect and rejecting a one-column
+// silhouette (w == 0) as degenerate.
+func FeaturesFromComponent(comp vision.Component) (Features, error) {
+	if comp.Area <= 0 {
 		return Features{}, errors.New("gesture: degenerate silhouette")
 	}
+	w := comp.MaxX - comp.MinX + 1
+	h := comp.MaxY - comp.MinY + 1
 	center := float64(comp.MinX+comp.MaxX) / 2
 	fx := (comp.CenX - center) / (float64(w) / 2)
 	return Features{CenX: fx, Aspect: float64(w) / float64(h)}, nil
+}
+
+// morphRadius is the opening radius applied to binarised frames before
+// component extraction (speckle removal), matching the recogniser's vision
+// front half.
+const morphRadius = 1
+
+// extractFrame is the pooled-buffer feature path: binarise and open with the
+// scratch's planes, take the largest component, reduce it to Features.
+func extractFrame(vs *vision.Scratch, frame *raster.Gray) (Features, error) {
+	mask := vs.Binarize(frame)
+	mask = vs.Open(mask, morphRadius)
+	_, comp, err := vs.LargestComponent(mask)
+	if err != nil {
+		return Features{}, err
+	}
+	return FeaturesFromComponent(comp)
 }
 
 // Config tunes the recogniser.
@@ -164,10 +194,28 @@ type template struct {
 }
 
 // Recognizer matches observed frame windows against gesture templates.
+// Classification is safe for concurrent use once NewRecognizer returns (the
+// templates are immutable and the per-length template cache is locked);
+// concurrent callers should hold their own ClassifyScratch.
 type Recognizer struct {
 	cfg       Config
 	rend      *scene.Renderer
 	templates []template
+
+	// ntMu guards ntCache: templates resampled to an observation length and
+	// channel-normalised once, then reused by every Classify at that length
+	// — the former per-call ResampleLinear/ZNormalize pair was the bulk of
+	// Classify's allocations.
+	ntMu    sync.RWMutex
+	ntCache map[int][]normTemplate
+}
+
+// normTemplate is one gesture's template resampled to a window length, with
+// the channel normalisation and activity statistics precomputed.
+type normTemplate struct {
+	g            Gesture
+	tx, ty       timeseries.Series // norm-channelled (see normChannel)
+	txStd, tyStd float64           // raw stds after resampling (activity gate)
 }
 
 // NewRecognizer builds templates by rendering each gesture over one cycle
@@ -176,7 +224,7 @@ func NewRecognizer(cfg Config, rend *scene.Renderer, view scene.View) (*Recogniz
 	cfg = cfg.withDefaults()
 	r := &Recognizer{cfg: cfg, rend: rend}
 	for _, g := range Gestures() {
-		tx, ty, err := r.featureSeries(g, view, body.Options{}, nil, cfg.FramesPerCycle, 1)
+		tx, ty, err := r.featureSeries(g, view, 0, body.Options{}, nil, cfg.FramesPerCycle, 1)
 		if err != nil {
 			return nil, fmt.Errorf("gesture: template %v: %w", g, err)
 		}
@@ -185,27 +233,30 @@ func NewRecognizer(cfg Config, rend *scene.Renderer, view scene.View) (*Recogniz
 	return r, nil
 }
 
-// featureSeries renders frames across cycles and extracts both feature
-// channels.
-func (r *Recognizer) featureSeries(g Gesture, view scene.View, opts body.Options,
-	rng *rand.Rand, framesPerCycle, cycles int) (topX, topY timeseries.Series, err error) {
+// featureSeries renders frames across cycles starting at phase0 and
+// extracts both feature channels, reusing one frame buffer and one vision
+// scratch across the whole window. It is the single render-and-extract
+// loop behind both template building (phase0 = 0) and Observe, so the
+// per-frame vision front half can never diverge between the two.
+func (r *Recognizer) featureSeries(g Gesture, view scene.View, phase0 float64,
+	opts body.Options, rng *rand.Rand, framesPerCycle, cycles int) (topX, topY timeseries.Series, err error) {
 
 	n := framesPerCycle * cycles
 	topX = make(timeseries.Series, 0, n)
 	topY = make(timeseries.Series, 0, n)
+	vs := vision.NewScratch()
+	frame := &raster.Gray{}
+	figs := make([]body.Figure, 1)
 	for i := 0; i < n; i++ {
-		phase := float64(i) / float64(framesPerCycle)
-		fig, err := FigureAt(g, phase, opts)
+		phase := phase0 + float64(i)/float64(framesPerCycle)
+		figs[0], err = FigureAt(g, phase, opts)
 		if err != nil {
 			return nil, nil, err
 		}
-		frame, err := r.rend.RenderFigure(fig, view, rng)
-		if err != nil {
+		if _, err = r.rend.RenderFiguresInto(frame, figs, view, rng); err != nil {
 			return nil, nil, err
 		}
-		mask := vision.OtsuBinarize(frame)
-		mask = vision.Open(mask, 1)
-		f, err := ExtractFeatures(mask)
+		f, err := extractFrame(vs, frame)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -232,27 +283,10 @@ var ErrNoGesture = errors.New("gesture: no gesture recognised")
 func (r *Recognizer) Observe(g Gesture, view scene.View, phase0 float64,
 	opts body.Options, rng *rand.Rand) (Match, error) {
 
-	n := r.cfg.FramesPerCycle * r.cfg.WindowCycles
-	topX := make(timeseries.Series, 0, n)
-	topY := make(timeseries.Series, 0, n)
-	for i := 0; i < n; i++ {
-		phase := phase0 + float64(i)/float64(r.cfg.FramesPerCycle)
-		fig, err := FigureAt(g, phase, opts)
-		if err != nil {
-			return Match{}, err
-		}
-		frame, err := r.rend.RenderFigure(fig, view, rng)
-		if err != nil {
-			return Match{}, err
-		}
-		mask := vision.OtsuBinarize(frame)
-		mask = vision.Open(mask, 1)
-		f, err := ExtractFeatures(mask)
-		if err != nil {
-			return Match{}, err
-		}
-		topX = append(topX, f.CenX)
-		topY = append(topY, f.Aspect)
+	topX, topY, err := r.featureSeries(g, view, phase0, opts, rng,
+		r.cfg.FramesPerCycle, r.cfg.WindowCycles)
+	if err != nil {
+		return Match{}, err
 	}
 	return r.Classify(topX, topY)
 }
@@ -265,61 +299,129 @@ const activityFloor = 0.03
 
 // normChannel z-normalises an active channel and zeroes an inactive one.
 func normChannel(s timeseries.Series) timeseries.Series {
-	if s.Std() < activityFloor {
-		return make(timeseries.Series, len(s))
-	}
-	return s.ZNormalize()
+	return normChannelInto(nil, s, s.Std())
 }
 
-// Classify matches raw feature series against the templates. Channels are
-// soft-gated on activity (see normChannel); the phase alignment comes from
-// the channel pair with the most shared activity and the other channel must
-// agree near that alignment. A completely inactive observation (a held
-// static pose) matches nothing.
+// normChannelInto is normChannel writing into dst (grown as needed), with
+// the raw standard deviation supplied by the caller.
+func normChannelInto(dst, s timeseries.Series, std float64) timeseries.Series {
+	if std < activityFloor {
+		if cap(dst) < len(s) {
+			dst = make(timeseries.Series, len(s))
+			return dst
+		}
+		dst = dst[:len(s)]
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	return s.ZNormalizeInto(dst)
+}
+
+// normTemplates returns the templates resampled to window length n with
+// their channel normalisation precomputed, building and caching the set on
+// first use of each length.
+func (r *Recognizer) normTemplates(n int) ([]normTemplate, error) {
+	r.ntMu.RLock()
+	nts, ok := r.ntCache[n]
+	r.ntMu.RUnlock()
+	if ok {
+		return nts, nil
+	}
+	r.ntMu.Lock()
+	defer r.ntMu.Unlock()
+	if nts, ok := r.ntCache[n]; ok {
+		return nts, nil
+	}
+	nts = make([]normTemplate, 0, len(r.templates))
+	for _, t := range r.templates {
+		txRaw, err := t.cenX.ResampleLinear(n)
+		if err != nil {
+			return nil, err
+		}
+		tyRaw, err := t.aspect.ResampleLinear(n)
+		if err != nil {
+			return nil, err
+		}
+		nts = append(nts, normTemplate{
+			g:     t.g,
+			tx:    normChannel(txRaw),
+			ty:    normChannel(tyRaw),
+			txStd: txRaw.Std(),
+			tyStd: tyRaw.Std(),
+		})
+	}
+	if r.ntCache == nil {
+		r.ntCache = make(map[int][]normTemplate)
+	}
+	r.ntCache[n] = nts
+	return nts, nil
+}
+
+// ClassifyScratch holds the reusable buffers of one classification lane (the
+// z-normalised observation channels). Not safe for concurrent use: one per
+// goroutine, like the pipeline's recognition scratch.
+type ClassifyScratch struct {
+	zx, zy timeseries.Series
+}
+
+// Classify matches raw feature series against the templates with a fresh
+// scratch. See ClassifyWith.
 func (r *Recognizer) Classify(cenX, aspect timeseries.Series) (Match, error) {
+	return r.ClassifyWith(&ClassifyScratch{}, cenX, aspect)
+}
+
+// ClassifyWith matches raw feature series against the templates. Channels
+// are soft-gated on activity (see normChannel); the phase alignment comes
+// from the channel pair with the most shared activity and the other channel
+// must agree near that alignment. A completely inactive observation (a held
+// static pose) matches nothing. With a warm scratch and template cache the
+// steady state performs no allocations.
+func (r *Recognizer) ClassifyWith(cs *ClassifyScratch, cenX, aspect timeseries.Series) (Match, error) {
 	if len(cenX) == 0 || len(cenX) != len(aspect) {
 		return Match{}, errors.New("gesture: bad feature series")
 	}
-	if cenX.Std() < activityFloor && aspect.Std() < activityFloor {
+	xStd, yStd := cenX.Std(), aspect.Std()
+	if xStd < activityFloor && yStd < activityFloor {
 		return Match{}, ErrNoGesture
 	}
-	zx, zy := normChannel(cenX), normChannel(aspect)
+	nts, err := r.normTemplates(len(cenX))
+	if err != nil {
+		return Match{}, err
+	}
+	cs.zx = normChannelInto(cs.zx, cenX, xStd)
+	cs.zy = normChannelInto(cs.zy, aspect, yStd)
 	best := Match{Dist: math.Inf(1)}
-	for _, t := range r.templates {
-		txRaw, err := t.cenX.ResampleLinear(len(cenX))
-		if err != nil {
-			return Match{}, err
-		}
-		tyRaw, err := t.aspect.ResampleLinear(len(aspect))
-		if err != nil {
-			return Match{}, err
-		}
-		tx, ty := normChannel(txRaw), normChannel(tyRaw)
-
+	for _, t := range nts {
 		// Pick the alignment channel: the one where both sides are active;
 		// prefer the larger shared amplitude.
-		xShared := math.Min(cenX.Std(), txRaw.Std())
-		yShared := math.Min(aspect.Std(), tyRaw.Std())
+		xShared := math.Min(xStd, t.txStd)
+		yShared := math.Min(yStd, t.tyStd)
 		var dx, dy float64
 		var shift int
 		switch {
 		case xShared >= activityFloor && xShared >= yShared:
-			dx, shift, err = timeseries.MinRotationDist(zx, tx)
+			dx, shift, err = timeseries.MinRotationDist(cs.zx, t.tx)
 			if err != nil {
 				return Match{}, err
 			}
-			dy, err = alignedDist(zy, ty, shift, 2)
+			dy, err = alignedDist(cs.zy, t.ty, shift, 2)
 		case yShared >= activityFloor:
-			dy, shift, err = timeseries.MinRotationDist(zy, ty)
+			dy, shift, err = timeseries.MinRotationDist(cs.zy, t.ty)
 			if err != nil {
 				return Match{}, err
 			}
-			dx, err = alignedDist(zx, tx, shift, 2)
+			dx, err = alignedDist(cs.zx, t.tx, shift, 2)
 		default:
 			// No shared active channel: both distances are the mismatch
-			// penalties at zero shift.
-			dx, _ = timeseries.EuclideanDist(zx, tx)
-			dy, _ = timeseries.EuclideanDist(zy, ty)
+			// penalties at zero shift. (These errors used to be discarded,
+			// so a length mismatch scored a silent perfect 0 here.)
+			dx, err = alignedDist(cs.zx, t.tx, 0, 0)
+			if err != nil {
+				return Match{}, err
+			}
+			dy, err = alignedDist(cs.zy, t.ty, 0, 0)
 		}
 		if err != nil {
 			return Match{}, err
@@ -336,11 +438,12 @@ func (r *Recognizer) Classify(cenX, aspect timeseries.Series) (Match, error) {
 }
 
 // alignedDist is the Euclidean distance minimised over shifts within
-// ±slack of the anchor alignment.
+// ±slack of the anchor alignment (anchors may be negative: shifts wrap
+// circularly, like Series.Rotate).
 func alignedDist(a, b timeseries.Series, anchor, slack int) (float64, error) {
 	best := math.Inf(1)
 	for s := anchor - slack; s <= anchor+slack; s++ {
-		d, err := timeseries.EuclideanDist(a, b.Rotate(s))
+		d, err := timeseries.EuclideanDistShifted(a, b, s)
 		if err != nil {
 			return 0, err
 		}

@@ -1,12 +1,14 @@
 package gesture
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
 	"hdc/internal/body"
 	"hdc/internal/scene"
+	"hdc/internal/timeseries"
 	"hdc/internal/vision"
 )
 
@@ -155,6 +157,127 @@ func TestRecognizerModerateAzimuth(t *testing.T) {
 		}
 		if m.Gesture != g {
 			t.Fatalf("%v @ 40° → %v (dist %.2f)", g, m.Gesture, m.Dist)
+		}
+	}
+}
+
+func TestFeaturesFromSinglePixelComponent(t *testing.T) {
+	// Component bounds are inclusive: a one-pixel silhouette spans 1×1, not
+	// 0×0. The old exclusive subtraction rejected it as degenerate (and
+	// biased every aspect ratio one pixel short).
+	mask := vision.NewBinary(8, 8)
+	mask.Set(3, 4, 1)
+	f, err := ExtractFeatures(mask)
+	if err != nil {
+		t.Fatalf("single-pixel silhouette rejected: %v", err)
+	}
+	if f.Aspect != 1 {
+		t.Fatalf("1×1 component aspect %v, want 1", f.Aspect)
+	}
+	if f.CenX != 0 {
+		t.Fatalf("1×1 component CenX %v, want 0", f.CenX)
+	}
+	// A one-column, three-row bar: width 1, height 3.
+	mask2 := vision.NewBinary(8, 8)
+	for y := 2; y <= 4; y++ {
+		mask2.Set(5, y, 1)
+	}
+	f2, err := ExtractFeatures(mask2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1.0 / 3.0; math.Abs(f2.Aspect-want) > 1e-12 {
+		t.Fatalf("1×3 bar aspect %v, want %v", f2.Aspect, want)
+	}
+	// Degenerate (empty) components still fail.
+	if _, err := FeaturesFromComponent(vision.Component{}); err == nil {
+		t.Fatal("empty component accepted")
+	}
+}
+
+func TestClassifyPropagatesDistanceErrors(t *testing.T) {
+	// Regression for the swallowed-error branch: with no shared active
+	// channel, EuclideanDist errors were discarded and a stale nil err let a
+	// length-mismatched template score a silent, perfect 0. Inject a corrupt
+	// cache entry (mismatched series lengths, inactive template channels so
+	// the zero-shift branch runs) and demand the error surfaces.
+	r := newRecognizer(t)
+	n := 24
+	bad := normTemplate{
+		g:  GestureWave,
+		tx: make(timeseries.Series, n-3), // wrong length
+		ty: make(timeseries.Series, n-3),
+		// Stds below the activity floor force the zero-shift branch.
+	}
+	r.ntMu.Lock()
+	if r.ntCache == nil {
+		r.ntCache = make(map[int][]normTemplate)
+	}
+	r.ntCache[n] = []normTemplate{bad}
+	r.ntMu.Unlock()
+
+	active := make(timeseries.Series, n)
+	flat := make(timeseries.Series, n)
+	for i := range active {
+		active[i] = math.Sin(2 * math.Pi * float64(i) / float64(n))
+	}
+	m, err := r.Classify(active, flat)
+	if err == nil {
+		t.Fatalf("mismatched template lengths produced a match: %+v", m)
+	}
+	if !errors.Is(err, timeseries.ErrLengthMismatch) {
+		t.Fatalf("got %v, want ErrLengthMismatch", err)
+	}
+}
+
+func TestAlignedDistNegativeAnchor(t *testing.T) {
+	// alignedDist must wrap negative shifts exactly like Series.Rotate with
+	// negative k; pin it against the Rotate-based reference.
+	rng := rand.New(rand.NewSource(7))
+	n := 24
+	a := make(timeseries.Series, n)
+	b := make(timeseries.Series, n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	for _, anchor := range []int{-1, -5, -n, -n - 3, 0, 3} {
+		got, err := alignedDist(a, b, anchor, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Inf(1)
+		for s := anchor - 2; s <= anchor+2; s++ {
+			d, err := timeseries.EuclideanDist(a, b.Rotate(s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = math.Min(want, d)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("anchor %d: alignedDist %v, Rotate reference %v", anchor, got, want)
+		}
+	}
+	if _, err := alignedDist(a, b[:n-1], -3, 2); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestClassifyWithReusedScratchMatchesClassify(t *testing.T) {
+	r := newRecognizer(t)
+	cs := &ClassifyScratch{}
+	for _, g := range Gestures() {
+		topX, topY, err := r.featureSeries(g, scene.ReferenceView(), 0, body.Options{}, nil, r.cfg.FramesPerCycle, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, werr := r.Classify(topX, topY)
+		got, gerr := r.ClassifyWith(cs, topX, topY)
+		if (werr == nil) != (gerr == nil) || got != want {
+			t.Fatalf("%v: scratch path (%+v, %v) != fresh path (%+v, %v)", g, got, gerr, want, werr)
+		}
+		if want.Gesture != g {
+			t.Fatalf("%v classified as %v", g, want.Gesture)
 		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hdc/internal/raster"
 	"hdc/internal/recognizer"
@@ -74,6 +75,11 @@ type Pipeline struct {
 	in  chan job
 	wg  sync.WaitGroup
 
+	// Live-feed ingest totals, aggregated across every Source ever attached
+	// to this pipeline's streams (see Source); exported via Stats.
+	ingestAccepted atomic.Uint64
+	ingestDropped  atomic.Uint64
+
 	mu      sync.RWMutex // guards closed + streams; RLock spans queue sends
 	closed  bool
 	streams map[*Stream]struct{}
@@ -113,6 +119,12 @@ type Stats struct {
 	Streams      int  // registered streams (batches hold one each while running)
 	StreamWindow int  // per-stream in-flight frame bound
 	Closed       bool // true once Close has begun
+	// IngestAccepted and IngestDropped total the frames offered to (and
+	// evicted from) the live-feed ring buffers in front of this pipeline's
+	// streams (see Source). A growing dropped count under load is the ingest
+	// layer working as designed: capture cadence held, excess frames shed.
+	IngestAccepted uint64
+	IngestDropped  uint64
 }
 
 // Stats returns the current occupancy snapshot. Safe for concurrent use.
@@ -120,22 +132,31 @@ func (p *Pipeline) Stats() Stats {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	return Stats{
-		Workers:      p.cfg.Workers,
-		QueueLen:     len(p.in),
-		QueueCap:     cap(p.in),
-		Streams:      len(p.streams),
-		StreamWindow: p.cfg.StreamWindow,
-		Closed:       p.closed,
+		Workers:        p.cfg.Workers,
+		QueueLen:       len(p.in),
+		QueueCap:       cap(p.in),
+		Streams:        len(p.streams),
+		StreamWindow:   p.cfg.StreamWindow,
+		Closed:         p.closed,
+		IngestAccepted: p.ingestAccepted.Load(),
+		IngestDropped:  p.ingestDropped.Load(),
 	}
 }
 
 // worker is one recognition lane: it owns its scratch state for the life of
-// the pipeline and drains the shared queue.
+// the pipeline and drains the shared queue. Streams carrying a custom Proc
+// run it in place of sign recognition, on the same scratch.
 func (p *Pipeline) worker() {
 	defer p.wg.Done()
 	sc := recognizer.NewScratch()
 	for j := range p.in {
-		res, err := p.rec.RecognizeWith(sc, j.frame)
+		var res recognizer.Result
+		var err error
+		if j.st.proc != nil {
+			res, err = j.st.proc(sc, j.seq, j.frame)
+		} else {
+			res, err = p.rec.RecognizeWith(sc, j.frame)
+		}
 		j.st.complete(j.seq, j.frame, res, err)
 	}
 }
@@ -156,13 +177,36 @@ func (p *Pipeline) enqueue(j job) error {
 // NewStream registers a new frame source and returns its stream. Streams
 // are independent: each delivers its results in submission order on its own
 // Results channel regardless of how the pool interleaves the work.
-func (p *Pipeline) NewStream() (*Stream, error) {
+func (p *Pipeline) NewStream() (*Stream, error) { return p.register(nil) }
+
+// Proc is a custom per-frame stage run on the pool's workers in place of
+// sign recognition — the dataflow-executor hook that lets other perception
+// workloads (the gesture feature extractor) share the pool, its scratch
+// state and its ordering/back-pressure machinery. A Proc is called from many
+// worker goroutines, one frame at a time per worker; per-frame state must be
+// keyed on seq (sequence numbers are unique per stream) and the scratch is
+// owned by the calling worker for the duration of the call.
+type Proc func(sc *recognizer.Scratch, seq uint64, frame *raster.Gray) (recognizer.Result, error)
+
+// NewProcStream is NewStream for a custom per-frame stage: every frame
+// submitted to the returned stream runs proc instead of the recogniser, with
+// the same ordered delivery and back-pressure.
+func (p *Pipeline) NewProcStream(proc Proc) (*Stream, error) {
+	if proc == nil {
+		return nil, errors.New("pipeline: nil proc")
+	}
+	return p.register(proc)
+}
+
+// register creates and tracks a stream.
+func (p *Pipeline) register(proc Proc) (*Stream, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return nil, ErrClosed
 	}
 	st := newStream(p)
+	st.proc = proc
 	p.streams[st] = struct{}{}
 	go st.emit()
 	return st, nil
@@ -253,13 +297,15 @@ type StreamResult struct {
 // concurrent use, though a stream's ordering is only meaningful to whoever
 // chose the submission order.
 type Stream struct {
-	p *Pipeline
+	p    *Pipeline
+	proc Proc // nil: the default sign-recognition stage
 
 	mu       sync.Mutex
 	cond     *sync.Cond
 	pending  map[uint64]StreamResult
-	nextSeq  uint64 // next sequence number to assign
-	nextEmit uint64 // next sequence number to deliver
+	dropHook func(*raster.Gray) // under mu; receives frames of dropped results
+	nextSeq  uint64             // next sequence number to assign
+	nextEmit uint64             // next sequence number to deliver
 	inflight int
 	closed   bool
 
@@ -309,6 +355,12 @@ func (s *Stream) Submit(frame *raster.Gray) error {
 	return nil
 }
 
+// Window returns the stream's in-flight frame bound (the pipeline's
+// StreamWindow): at most Window frames are submitted-but-unemitted at any
+// time, and at most another Window sit in the delivery buffer. Consumers
+// sizing seq-indexed state (the gesture feature slab) derive it from this.
+func (s *Stream) Window() int { return s.p.cfg.StreamWindow }
+
 // Results is the stream's ordered delivery channel. It closes after Close
 // once every in-flight frame has been delivered. Consumers must either
 // drain the channel or call Abandon — a stream whose consumer silently
@@ -324,12 +376,46 @@ func (s *Stream) Close() {
 	s.mu.Unlock()
 }
 
+// SetDropHook registers fn to receive the frame of every result this stream
+// discards instead of delivering — the Abandon path — so pooled frame
+// buffers checked out by the producer can be recycled rather than leaked
+// (one reaped session used to strand up to a window of pooled buffers).
+// Set it before the first Submit; fn may be called from the stream's
+// delivery goroutine and must be safe for that.
+func (s *Stream) SetDropHook(fn func(*raster.Gray)) {
+	s.mu.Lock()
+	s.dropHook = fn
+	s.mu.Unlock()
+}
+
+// dropResult recycles one discarded result's frame through the drop hook.
+func (s *Stream) dropResult(r StreamResult) {
+	s.mu.Lock()
+	fn := s.dropHook
+	s.mu.Unlock()
+	if fn != nil && r.Frame != nil {
+		fn(r.Frame)
+	}
+}
+
 // Abandon is Close for a consumer that is gone (a disconnected client):
 // undelivered and in-flight results are dropped instead of delivered, so
 // the stream's resources are released even though nobody reads Results.
-// The channel still closes once the drop-drain finishes.
+// The channel still closes once the drop-drain finishes. Results already
+// buffered are drained through the drop hook too; a consumer that is in
+// fact still reading Results merely splits the remainder with that drain —
+// each result reaches exactly one of the two, every dropped one through
+// the hook — which is what lets gesture.Live abandon under its own live
+// collector, both sides recycling through the same hook.
 func (s *Stream) Abandon() {
-	s.abandonOnce.Do(func() { close(s.abandoned) })
+	s.abandonOnce.Do(func() {
+		close(s.abandoned)
+		go func() {
+			for r := range s.out {
+				s.dropResult(r)
+			}
+		}()
+	})
 	s.Close()
 }
 
@@ -356,7 +442,9 @@ func (s *Stream) emit() {
 			select {
 			case s.out <- r:
 			case <-s.abandoned:
-				// Consumer is gone; drop this and every later result.
+				// Consumer is gone; drop this and every later result,
+				// recycling their frames through the drop hook.
+				s.dropResult(r)
 			}
 			s.mu.Lock()
 			s.inflight--

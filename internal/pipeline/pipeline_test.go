@@ -251,6 +251,103 @@ func TestAbandonReleasesAbandonedStream(t *testing.T) {
 	}
 }
 
+// TestAbandonRecyclesPooledFrames is the regression test for the pooled-
+// frame leak: results dropped on the abandon path (and results stranded in
+// the delivery buffer) carry frames a producer checked out of a pool; the
+// drop hook must hand every one of them back. Before the hook existed, each
+// abandoned stream leaked up to a window of pooled buffers.
+func TestAbandonRecyclesPooledFrames(t *testing.T) {
+	rec, _ := newRecognizer(t)
+	p, err := New(rec, Config{Workers: 2, QueueDepth: 2, StreamWindow: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var pool raster.Pool
+	st, err := p.NewProcStream(func(sc *recognizer.Scratch, seq uint64, frame *raster.Gray) (recognizer.Result, error) {
+		return recognizer.Result{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetDropHook(pool.Put)
+
+	// Submit a full window of pooled frames and never read a single result.
+	const n = 4
+	for i := 0; i < n; i++ {
+		if err := st.Submit(pool.Get(8, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Abandon()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		gets, puts := pool.Stats()
+		if gets == n && puts == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned stream leaked frames: %d gets, %d puts", gets, puts)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestProcStreamOrdering checks a custom per-frame stage sees every frame
+// with its stream sequence number and that delivery order still holds.
+func TestProcStreamOrdering(t *testing.T) {
+	rec, _ := newRecognizer(t)
+	p, err := New(rec, Config{Workers: 4, QueueDepth: 4, StreamWindow: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const n = 32
+	seen := make([]uint8, n) // indexed by seq, written by workers pre-delivery
+	st, err := p.NewProcStream(func(sc *recognizer.Scratch, seq uint64, frame *raster.Gray) (recognizer.Result, error) {
+		if sc == nil || sc.Vision() == nil {
+			return recognizer.Result{}, errors.New("no scratch")
+		}
+		seen[seq] = frame.Pix[0]
+		return recognizer.Result{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer st.Close()
+		for i := 0; i < n; i++ {
+			g, _ := raster.NewGray(4, 4)
+			g.Pix[0] = uint8(i)
+			if err := st.Submit(g); err != nil {
+				return
+			}
+		}
+	}()
+	next := uint64(0)
+	for r := range st.Results() {
+		if r.Seq != next {
+			t.Fatalf("out of order: got %d, want %d", r.Seq, next)
+		}
+		if r.Err != nil {
+			t.Fatalf("seq %d: %v", r.Seq, r.Err)
+		}
+		// The worker's write to seen[seq] happens before this delivery.
+		if seen[r.Seq] != uint8(r.Seq) {
+			t.Fatalf("proc saw frame %d at seq %d", seen[r.Seq], r.Seq)
+		}
+		next++
+	}
+	if next != n {
+		t.Fatalf("delivered %d/%d", next, n)
+	}
+	if _, err := p.NewProcStream(nil); err == nil {
+		t.Fatal("nil proc accepted")
+	}
+}
+
 // TestBatchRejectsNilFrame pins the up-front validation: a nil frame fails
 // the whole batch explicitly instead of surfacing as ErrClosed mid-way.
 func TestBatchRejectsNilFrame(t *testing.T) {

@@ -1,0 +1,330 @@
+package pipeline
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hdc/internal/raster"
+	"hdc/internal/recognizer"
+)
+
+// newFrames returns n distinct small frames.
+func newFrames(t testing.TB, n int) []*raster.Gray {
+	t.Helper()
+	frames := make([]*raster.Gray, n)
+	for i := range frames {
+		g, err := raster.NewGray(8, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Pix[0] = uint8(i)
+		frames[i] = g
+	}
+	return frames
+}
+
+// slowProc returns a Proc that takes d per frame — a stand-in for a pool
+// slower than the offered frame rate.
+func slowProc(d time.Duration, processed *atomic.Uint64) Proc {
+	return func(sc *recognizer.Scratch, seq uint64, frame *raster.Gray) (recognizer.Result, error) {
+		if d > 0 {
+			time.Sleep(d)
+		}
+		if processed != nil {
+			processed.Add(1)
+		}
+		return recognizer.Result{}, nil
+	}
+}
+
+// TestSourceDropsOldestUnderOverload offers frames far faster than a
+// one-worker pool can recognise them and asserts the live-feed contract:
+// Offer never fails or blocks meaningfully, the overflow is dropped oldest
+// first, and every offered frame is accounted for exactly once as either a
+// delivered result or a drop.
+func TestSourceDropsOldestUnderOverload(t *testing.T) {
+	rec, _ := newRecognizer(t)
+	p, err := New(rec, Config{Workers: 1, QueueDepth: 1, StreamWindow: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	st, err := p.NewProcStream(slowProc(3*time.Millisecond, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var hookDrops atomic.Uint64
+	src, err := NewSource(st, SourceConfig{
+		Capacity: 4,
+		OnDrop:   func(*raster.Gray) { hookDrops.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	delivered := make(chan int)
+	go func() {
+		n := 0
+		for range st.Results() {
+			n++
+		}
+		delivered <- n
+	}()
+
+	const offered = 200
+	frames := newFrames(t, offered)
+	for _, f := range frames {
+		if err := src.Offer(f); err != nil {
+			t.Fatalf("Offer: %v", err)
+		}
+	}
+	src.Close() // flush the ring
+	st.Close()
+	got := <-delivered
+
+	stats := src.Stats()
+	if stats.Accepted != offered {
+		t.Fatalf("accepted %d, want %d", stats.Accepted, offered)
+	}
+	if stats.Dropped == 0 {
+		t.Fatal("expected drops under a saturated one-worker pool")
+	}
+	if uint64(got)+stats.Dropped != offered {
+		t.Fatalf("delivered %d + dropped %d != offered %d", got, stats.Dropped, offered)
+	}
+	if hookDrops.Load() != stats.Dropped {
+		t.Fatalf("OnDrop ran %d times for %d drops", hookDrops.Load(), stats.Dropped)
+	}
+	ps := p.Stats()
+	if ps.IngestAccepted != offered || ps.IngestDropped != stats.Dropped {
+		t.Fatalf("pipeline ingest totals %d/%d, want %d/%d",
+			ps.IngestAccepted, ps.IngestDropped, offered, stats.Dropped)
+	}
+	if stats.Depth != 0 {
+		t.Fatalf("ring depth %d after Close", stats.Depth)
+	}
+}
+
+// TestSourceKeepsFreshestFrames pins the drop-oldest policy: with the pool
+// wedged, a ring of capacity C retains exactly the last C offered frames in
+// order.
+func TestSourceKeepsFreshestFrames(t *testing.T) {
+	rec, _ := newRecognizer(t)
+	p, err := New(rec, Config{Workers: 1, QueueDepth: 1, StreamWindow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Wedge the single worker until released.
+	release := make(chan struct{})
+	var order []uint8
+	st, err := p.NewProcStream(func(sc *recognizer.Scratch, seq uint64, frame *raster.Gray) (recognizer.Result, error) {
+		<-release
+		return recognizer.Result{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := NewSource(st, SourceConfig{Capacity: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := newFrames(t, 10)
+	for _, f := range frames {
+		if err := src.Offer(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The forwarder pops at most two frames before wedging (one in the
+	// worker, one parked in Submit against the window of 1), and those pops
+	// can land before or after the offer loop's last eviction — so the ring
+	// holds either its full capacity or one less.
+	if d := src.Stats().Depth; d < 2 || d > 3 {
+		t.Fatalf("ring depth %d after overload, want 2 or 3", d)
+	}
+	close(release)
+
+	done := make(chan struct{})
+	go func() {
+		for r := range st.Results() {
+			order = append(order, r.Frame.Pix[0])
+		}
+		close(done)
+	}()
+	src.Close()
+	st.Close()
+	<-done
+
+	// The delivered tail must be the freshest frames, in offer order.
+	if len(order) < 3 {
+		t.Fatalf("delivered %d frames, want at least the ring capacity", len(order))
+	}
+	tail := order[len(order)-3:]
+	for i, v := range tail {
+		if want := uint8(10 - 3 + i); v != want {
+			t.Fatalf("tail[%d] = frame %d, want %d (full tail %v)", i, v, want, order)
+		}
+	}
+}
+
+// TestSourceAbandonDiscards covers the walk-away path: queued frames are
+// recycled through OnDrop, not submitted, and later Offers fail.
+func TestSourceAbandonDiscards(t *testing.T) {
+	rec, _ := newRecognizer(t)
+	p, err := New(rec, Config{Workers: 1, QueueDepth: 1, StreamWindow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	release := make(chan struct{})
+	st, err := p.NewProcStream(func(sc *recognizer.Scratch, seq uint64, frame *raster.Gray) (recognizer.Result, error) {
+		<-release
+		return recognizer.Result{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recycled atomic.Uint64
+	st.SetDropHook(func(*raster.Gray) { recycled.Add(1) })
+	src, err := NewSource(st, SourceConfig{
+		Capacity: 8,
+		OnDrop:   func(*raster.Gray) { recycled.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := newFrames(t, 6)
+	for _, f := range frames {
+		if err := src.Offer(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	st.Abandon()
+	src.Abandon()
+	if err := src.Offer(frames[0]); !errors.Is(err, ErrSourceClosed) {
+		t.Fatalf("Offer after Abandon: %v", err)
+	}
+	// Every frame ends up recycled exactly once: via the source's OnDrop
+	// (never submitted) or the stream's drop hook (submitted, result dropped).
+	deadline := time.Now().Add(5 * time.Second)
+	for recycled.Load() != 6 {
+		if time.Now().After(deadline) {
+			t.Fatalf("recycled %d of 6 frames", recycled.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSourceCloseRaceRecyclesOnce is the double-recycle regression: a
+// Submit that fails with ErrClosed has already claimed a sequence number,
+// so its frame comes back as an error result — the source must NOT also
+// route it through OnDrop, or one pooled buffer is recycled twice. Race
+// Pipeline.Close against a live feed repeatedly and demand every offered
+// frame is accounted for exactly once across the delivery and drop paths.
+func TestSourceCloseRaceRecyclesOnce(t *testing.T) {
+	rec, _ := newRecognizer(t)
+	for iter := 0; iter < 20; iter++ {
+		p, err := New(rec, Config{Workers: 1, QueueDepth: 1, StreamWindow: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := p.NewProcStream(slowProc(50*time.Microsecond, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recycled atomic.Uint64 // drop-path recycles (hook + OnDrop)
+		st.SetDropHook(func(*raster.Gray) { recycled.Add(1) })
+		delivered := make(chan uint64)
+		go func() {
+			var n uint64
+			for range st.Results() {
+				n++ // delivery-path recycle (consumer owns the frame)
+			}
+			delivered <- n
+		}()
+		src, err := NewSource(st, SourceConfig{
+			Capacity: 4,
+			OnDrop:   func(*raster.Gray) { recycled.Add(1) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		frames := newFrames(t, 8)
+		closed := make(chan struct{})
+		go func() {
+			p.Close() // races the offers below
+			close(closed)
+		}()
+		var offered uint64
+		for _, f := range frames {
+			if err := src.Offer(f); err != nil {
+				break
+			}
+			offered++
+		}
+		<-closed
+		src.Close()
+		got := <-delivered
+		deadline := time.Now().Add(5 * time.Second)
+		for got+recycled.Load() != offered {
+			if time.Now().After(deadline) {
+				t.Fatalf("iter %d: %d delivered + %d recycled != %d offered (double or lost recycle)",
+					iter, got, recycled.Load(), offered)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestSourceSurvivesPipelineClose closes the pipeline under a live source
+// and asserts the source fails fast afterwards with every frame accounted.
+func TestSourceSurvivesPipelineClose(t *testing.T) {
+	rec, _ := newRecognizer(t)
+	p, err := New(rec, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var processed atomic.Uint64
+	st, err := p.NewProcStream(slowProc(0, &processed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range st.Results() {
+		}
+	}()
+	var dropped atomic.Uint64
+	src, err := NewSource(st, SourceConfig{OnDrop: func(*raster.Gray) { dropped.Add(1) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := newFrames(t, 4)
+	for _, f := range frames {
+		if err := src.Offer(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	// Offers eventually fail once the forwarder notices the closed pool.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := src.Offer(frames[0])
+		if errors.Is(err, ErrSourceClosed) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Offer kept succeeding after pipeline close")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	src.Close()
+}

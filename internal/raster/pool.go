@@ -1,6 +1,9 @@
 package raster
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Pool recycles Gray frame buffers across goroutines. It backs the streaming
 // recognition pipeline, where every frame would otherwise allocate a fresh
@@ -9,6 +12,9 @@ import "sync"
 // ready to use.
 type Pool struct {
 	p sync.Pool
+
+	gets atomic.Uint64
+	puts atomic.Uint64
 }
 
 // Get returns a w×h frame with every pixel 0, reusing a pooled buffer when
@@ -22,6 +28,7 @@ func (p *Pool) Get(w, h int) *Gray {
 		p.p.Put(g)
 		return nil
 	}
+	p.gets.Add(1)
 	return g
 }
 
@@ -31,5 +38,13 @@ func (p *Pool) Put(g *Gray) {
 	if g == nil {
 		return
 	}
+	p.puts.Add(1)
 	p.p.Put(g)
+}
+
+// Stats returns the lifetime checkout counters. gets−puts is the number of
+// frames currently checked out; a figure that only grows under steady-state
+// traffic is a frame leak (every Get must be matched by exactly one Put).
+func (p *Pool) Stats() (gets, puts uint64) {
+	return p.gets.Load(), p.puts.Load()
 }

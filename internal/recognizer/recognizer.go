@@ -139,6 +139,12 @@ func NewScratch() *Scratch {
 	return &Scratch{v: vision.NewScratch(), lk: sax.NewLookupScratch()}
 }
 
+// Vision exposes the scratch's vision buffers so custom pipeline stages
+// (the gesture feature extractor) can share a worker's pooled front half
+// instead of allocating their own planes. The same ownership rule applies:
+// one goroutine at a time.
+func (sc *Scratch) Vision() *vision.Scratch { return sc.v }
+
 // scratchPool backs Recognize's per-call scratch so one-shot callers share
 // the loop callers' allocation-free path.
 var scratchPool = sync.Pool{

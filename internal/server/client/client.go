@@ -307,6 +307,78 @@ func (s *Stream) Close(ctx context.Context) error {
 	return s.c.do(req, nil)
 }
 
+// Gesture submits one complete gesture observation window to POST
+// /v1/gesture and returns its verdict. An unrecognised window is not an
+// error at this layer: the result carries Err == "no_gesture".
+func (c *Client) Gesture(ctx context.Context, frames []*raster.Gray) (server.GestureResult, error) {
+	if len(frames) == 0 {
+		return server.GestureResult{}, errors.New("client: no frames")
+	}
+	req, err := c.post(ctx, "/v1/gesture", frames, false)
+	if err != nil {
+		return server.GestureResult{}, err
+	}
+	var out server.GestureResult
+	if err := c.do(req, &out); err != nil {
+		return server.GestureResult{}, err
+	}
+	return out, nil
+}
+
+// GestureStream is a live-feed gesture session: frames offered to it enter
+// the server-side ingest ring (drop-oldest under overload) and verdicts are
+// polled back with each push.
+type GestureStream struct {
+	c      *Client
+	ID     string
+	Window int // server-side ingest ring capacity
+}
+
+// OpenGestureStream creates a live gesture session (POST /v1/gesture/streams).
+func (c *Client) OpenGestureStream(ctx context.Context) (*GestureStream, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/gesture/streams", nil)
+	if err != nil {
+		return nil, err
+	}
+	var info struct {
+		ID     string `json:"id"`
+		Window int    `json:"window"`
+	}
+	if err := c.do(req, &info); err != nil {
+		return nil, err
+	}
+	return &GestureStream{c: c, ID: info.ID, Window: info.Window}, nil
+}
+
+// Offer pushes live frames at the session and returns the feed snapshot:
+// ingest counters plus the sliding-window verdicts completed since the last
+// push. The call returns at capture cadence — a saturated pool shows up in
+// the snapshot's Dropped count, never as a stalled request.
+func (s *GestureStream) Offer(ctx context.Context, frames ...*raster.Gray) (server.GestureFeed, error) {
+	var out server.GestureFeed
+	if len(frames) == 0 {
+		return out, errors.New("client: no frames")
+	}
+	req, err := s.c.post(ctx, "/v1/gesture/streams/"+s.ID+"/frames", frames, false)
+	if err != nil {
+		return out, err
+	}
+	err = s.c.do(req, &out)
+	return out, err
+}
+
+// Close ends the session gracefully: the server flushes the queued frames
+// through its pool and the returned feed carries the final verdicts.
+func (s *GestureStream) Close(ctx context.Context) (server.GestureFeed, error) {
+	var out server.GestureFeed
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, s.c.base+"/v1/gesture/streams/"+s.ID, nil)
+	if err != nil {
+		return out, err
+	}
+	err = s.c.do(req, &out)
+	return out, err
+}
+
 // Healthz reports whether the service is accepting work.
 func (c *Client) Healthz(ctx context.Context) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)

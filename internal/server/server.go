@@ -14,8 +14,17 @@
 //	POST   /v1/streams/{id}/frames submit frames, receive their ordered results
 //	GET    /v1/streams/{id}        session info
 //	DELETE /v1/streams/{id}        close the session
+//	POST   /v1/gesture             classify one gesture observation window
+//	POST   /v1/gesture/streams     open a live-feed gesture session (ring-buffer ingest)
+//	POST   /v1/gesture/streams/{id}/frames  offer live frames, poll verdicts
+//	GET    /v1/gesture/streams/{id}         session counters
+//	DELETE /v1/gesture/streams/{id}         flush and fetch final verdicts
 //	GET    /healthz                liveness + drain signal
-//	GET    /statsz                 pool occupancy, per-endpoint latency, mem
+//	GET    /statsz                 pool occupancy, ingest drops, per-endpoint latency, mem
+//
+// The gesture endpoints exist when Options.Gesture is set; live sessions put
+// a bounded drop-oldest ring (pipeline.Source) in front of the pool so a
+// camera-cadence feed degrades to frame dropping instead of stalling.
 //
 // Frames travel as JSON (width/height + base64 pixels), raw
 // application/octet-stream planes (the allocation-free hot path: pixels are
@@ -31,6 +40,7 @@ import (
 	"time"
 
 	"hdc/internal/core"
+	"hdc/internal/gesture"
 	"hdc/internal/pipeline"
 	"hdc/internal/raster"
 )
@@ -46,6 +56,14 @@ type Options struct {
 	// StreamIdleTimeout is how long a stream session may sit idle before
 	// the reaper abandons it (default 2 minutes).
 	StreamIdleTimeout time.Duration
+	// Gesture enables the dynamic-signal endpoints (/v1/gesture and the
+	// live-feed gesture sessions) when set; the recogniser shares the
+	// system's worker pool through its proc-stream hook. Nil leaves the
+	// endpoints answering 404.
+	Gesture *gesture.Recognizer
+	// GestureBuffer overrides the live sessions' ingest ring capacity
+	// (default: two observation windows).
+	GestureBuffer int
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -81,6 +99,8 @@ type Server struct {
 	statRecognize endpointStats
 	statBatch     endpointStats
 	statStream    endpointStats
+	statGesture   endpointStats
+	statFeed      endpointStats
 }
 
 // New builds the service over sys. The system's worker pool starts lazily
@@ -101,6 +121,13 @@ func New(sys *core.System, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/streams/{id}", s.handleStreamInfo)
 	s.mux.HandleFunc("POST /v1/streams/{id}/frames", s.instrument(&s.statStream, s.handleStreamFrames))
 	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.handleStreamDelete)
+	if s.opts.Gesture != nil {
+		s.mux.HandleFunc("POST /v1/gesture", s.instrument(&s.statGesture, s.handleGesture))
+		s.mux.HandleFunc("POST /v1/gesture/streams", s.handleGestureStreamCreate)
+		s.mux.HandleFunc("GET /v1/gesture/streams/{id}", s.handleGestureStreamInfo)
+		s.mux.HandleFunc("POST /v1/gesture/streams/{id}/frames", s.instrument(&s.statFeed, s.handleGestureFeed))
+		s.mux.HandleFunc("DELETE /v1/gesture/streams/{id}", s.handleGestureStreamDelete)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return s
@@ -207,14 +234,29 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, errDraining)
 		return
 	}
+	// Results dropped on the abandon path (a reaped session) carry pooled
+	// frames; recycle them instead of leaking a window per reap.
+	st.SetDropHook(s.framePool.Put)
 	stats, _ := s.sys.PoolStats()
 	sess := s.sessions.add(st, stats.StreamWindow)
 	writeJSON(w, http.StatusCreated, streamInfo{ID: sess.id, Window: sess.window})
 }
 
+// getRecognitionSession looks up a recognition-stream session. Gesture
+// sessions share the table and the ID namespace but have no pipeline
+// stream (sess.st is nil), so a cross-kind ID must 404 here exactly like
+// an unknown one — not reach a nil dereference.
+func (s *Server) getRecognitionSession(id string) (*session, bool) {
+	sess, ok := s.sessions.get(id)
+	if !ok || sess.st == nil {
+		return nil, false
+	}
+	return sess, true
+}
+
 // handleStreamInfo answers GET /v1/streams/{id}.
 func (s *Server) handleStreamInfo(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.sessions.get(r.PathValue("id"))
+	sess, ok := s.getRecognitionSession(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("server: unknown stream"))
 		return
@@ -226,7 +268,7 @@ func (s *Server) handleStreamInfo(w http.ResponseWriter, r *http.Request) {
 
 // handleStreamDelete answers DELETE /v1/streams/{id}: graceful session end.
 func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.sessions.get(r.PathValue("id"))
+	sess, ok := s.getRecognitionSession(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("server: unknown stream"))
 		return
@@ -247,7 +289,7 @@ func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
 // stream's in-flight window applies back-pressure by blocking Submit (and
 // therefore the request) rather than buffering unboundedly.
 func (s *Server) handleStreamFrames(w http.ResponseWriter, r *http.Request) (int, bool) {
-	sess, ok := s.sessions.get(r.PathValue("id"))
+	sess, ok := s.getRecognitionSession(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("server: unknown stream"))
 		return 0, true
@@ -319,10 +361,14 @@ collect:
 		claimed = <-claimedCh
 	}
 	// Frames past claimed never entered the stream; answer them as draining
-	// and recycle their buffers ourselves.
+	// and recycle their buffers ourselves. Claimed-but-undelivered frames
+	// (possible only if the stream was abandoned under us) belong to the
+	// stream's drop hook — recycling them here too would double-free.
 	for i := collected; i < len(frames); i++ {
 		out.Results[i] = FrameResult{Err: ErrValueDraining}
-		s.framePool.Put(frames[i])
+		if i >= claimed {
+			s.framePool.Put(frames[i])
+		}
 	}
 	sess.submitted.Add(uint64(claimed))
 	// Partial results are still results: the response is 200 with the
@@ -345,24 +391,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleStatsz answers GET /statsz.
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	pool, started := s.sys.PoolStats()
+	gets, puts := s.framePool.Stats()
 	resp := StatsResponse{
 		UptimeS:  s.opts.now().Sub(s.started).Seconds(),
 		Draining: s.draining.Load(),
 		Pool: PoolSnapshot{
-			Started:  started,
-			Closed:   pool.Closed,
-			Workers:  pool.Workers,
-			QueueLen: pool.QueueLen,
-			QueueCap: pool.QueueCap,
-			Streams:  pool.Streams,
+			Started:        started,
+			Closed:         pool.Closed,
+			Workers:        pool.Workers,
+			QueueLen:       pool.QueueLen,
+			QueueCap:       pool.QueueCap,
+			Streams:        pool.Streams,
+			IngestAccepted: pool.IngestAccepted,
+			IngestDropped:  pool.IngestDropped,
 		},
-		Sessions: s.sessions.snapshot(),
+		FramePool: FramePoolSnapshot{Gets: gets, Puts: puts},
+		Sessions:  s.sessions.snapshot(),
 		Endpoints: map[string]EndpointSnapshot{
 			"recognize":     s.statRecognize.snapshot(),
 			"batch":         s.statBatch.snapshot(),
 			"stream_frames": s.statStream.snapshot(),
 		},
 		Mem: memSnapshot(),
+	}
+	if s.opts.Gesture != nil {
+		resp.Endpoints["gesture"] = s.statGesture.snapshot()
+		resp.Endpoints["gesture_feed"] = s.statFeed.snapshot()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

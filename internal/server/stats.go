@@ -14,8 +14,11 @@ import (
 // right fidelity for a load signal, and the loadgen reports exact
 // percentiles when precision matters (E19).
 
-// latencyBuckets is the number of power-of-two histogram buckets. Bucket i
-// spans [16µs·2^i, 16µs·2^(i+1)); the last bucket is open-ended (≈9 min).
+// latencyBuckets is the number of power-of-two histogram buckets. Bucket 0
+// holds [0, 16µs); bucket i≥1 holds [16µs·2^(i-1), 16µs·2^i); the last
+// bucket (24) is open-ended, catching everything from 16µs·2^23 ≈ 2.2 min
+// up. bucketUpperNs(b) is the exclusive upper edge of bucket b, which is
+// what the percentile estimator reports.
 const (
 	latencyBuckets   = 25
 	latencyBucket0Ns = 16_000 // 16 µs
@@ -31,7 +34,9 @@ func bucketOf(d time.Duration) int {
 	return b
 }
 
-// bucketUpperNs is the inclusive upper bound of bucket b in nanoseconds.
+// bucketUpperNs is the exclusive upper bound of bucket b in nanoseconds
+// (the top bucket is open-ended, so its "bound" is only the estimator's
+// reporting value).
 func bucketUpperNs(b int) int64 {
 	return int64(latencyBucket0Ns) << uint(b)
 }
@@ -129,6 +134,19 @@ type PoolSnapshot struct {
 	QueueLen int  `json:"queue_len"`
 	QueueCap int  `json:"queue_cap"`
 	Streams  int  `json:"streams"`
+	// IngestAccepted/IngestDropped total the live-feed ring buffers in
+	// front of the pool's streams: drops growing under load is the ingest
+	// layer shedding frames instead of stalling capture.
+	IngestAccepted uint64 `json:"ingest_accepted"`
+	IngestDropped  uint64 `json:"ingest_dropped"`
+}
+
+// FramePoolSnapshot reports the server's frame-buffer checkout counters;
+// gets−puts is the number of pooled frames currently out, which must stay
+// bounded (a steadily growing gap is a frame leak).
+type FramePoolSnapshot struct {
+	Gets uint64 `json:"gets"`
+	Puts uint64 `json:"puts"`
 }
 
 // SessionSnapshot summarises the stream-session table.
@@ -153,6 +171,7 @@ type StatsResponse struct {
 	UptimeS   float64                     `json:"uptime_s"`
 	Draining  bool                        `json:"draining"`
 	Pool      PoolSnapshot                `json:"pool"`
+	FramePool FramePoolSnapshot           `json:"frame_pool"`
 	Sessions  SessionSnapshot             `json:"sessions"`
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 	Mem       MemSnapshot                 `json:"mem"`

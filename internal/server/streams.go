@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hdc/internal/gesture"
 	"hdc/internal/pipeline"
 )
 
@@ -17,22 +18,35 @@ import (
 // (the session mutex), which is what gives a stream its ordering guarantee
 // across requests; throughput comes from many sessions sharing the pool.
 
-// session is one live stream.
+// session is one live stream: either a recognition stream (st) or a
+// pipeline-backed live gesture session (live). Exactly one of the two is
+// set.
 type session struct {
-	id string
-	st *pipeline.Stream
+	id   string
+	st   *pipeline.Stream
+	live *gesture.Live
 
 	// mu serialises frame requests on this session and excludes the reaper
 	// from a session that is mid-request (the reaper uses TryLock).
 	mu        sync.Mutex
 	closed    bool          // under mu: session ended (DELETE or reap)
-	window    int           // the stream's in-flight frame bound
+	window    int           // stream in-flight bound, or the gesture ring capacity
 	submitted atomic.Uint64 // frames accepted over the session's life
 	lastUsed  atomic.Int64  // unix nanos of the last request
 }
 
 // touch refreshes the idle clock.
 func (s *session) touch(now time.Time) { s.lastUsed.Store(now.UnixNano()) }
+
+// abandon releases the session's pool resources for a consumer that is gone
+// (reaper, server close). Caller holds s.mu and has set s.closed.
+func (s *session) abandon() {
+	if s.live != nil {
+		s.live.Abandon()
+		return
+	}
+	s.st.Abandon()
+}
 
 // sessionTable holds the live sessions and runs the reaper.
 type sessionTable struct {
@@ -63,13 +77,18 @@ func newSessionTable(idle time.Duration, now func() time.Time) *sessionTable {
 	return t
 }
 
-// add registers a new session over st and returns it.
+// add registers a new recognition-stream session over st and returns it.
 func (t *sessionTable) add(st *pipeline.Stream, window int) *session {
-	s := &session{
-		id:     "s" + strconv.FormatUint(t.nextID.Add(1), 10),
-		st:     st,
-		window: window,
-	}
+	return t.register(&session{st: st, window: window})
+}
+
+// addLive registers a live gesture session.
+func (t *sessionTable) addLive(l *gesture.Live, window int) *session {
+	return t.register(&session{live: l, window: window})
+}
+
+func (t *sessionTable) register(s *session) *session {
+	s.id = "s" + strconv.FormatUint(t.nextID.Add(1), 10)
 	s.touch(t.now())
 	t.mu.Lock()
 	t.m[s.id] = s
@@ -124,7 +143,7 @@ func (t *sessionTable) close() {
 		s.mu.Lock()
 		if !s.closed {
 			s.closed = true
-			s.st.Abandon()
+			s.abandon()
 		}
 		s.mu.Unlock()
 	}
@@ -169,7 +188,7 @@ func (t *sessionTable) reapOnce() {
 		}
 		if !s.closed && s.lastUsed.Load() < cutoff {
 			s.closed = true
-			s.st.Abandon()
+			s.abandon()
 			t.remove(s.id)
 			t.reaped.Add(1)
 		}

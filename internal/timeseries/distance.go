@@ -20,6 +20,31 @@ func EuclideanDist(a, b Series) (float64, error) {
 	return math.Sqrt(ss), nil
 }
 
+// EuclideanDistShifted returns the Euclidean distance between a and b
+// circularly shifted left by k positions (k may be negative or exceed len),
+// without materialising the rotation — the allocation-free equivalent of
+// EuclideanDist(a, b.Rotate(k)). Mismatched lengths return ErrLengthMismatch.
+func EuclideanDistShifted(a, b Series, k int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrLengthMismatch
+	}
+	n := len(a)
+	if n == 0 {
+		return 0, nil
+	}
+	k = ((k % n) + n) % n
+	var ss float64
+	for i := range a {
+		j := i + k
+		if j >= n {
+			j -= n
+		}
+		d := a[i] - b[j]
+		ss += d * d
+	}
+	return math.Sqrt(ss), nil
+}
+
 // MinRotationDist returns the minimum Euclidean distance between a and every
 // circular rotation of b, together with the minimising shift (the number of
 // positions b was rotated left). This is the rotation-invariant shape

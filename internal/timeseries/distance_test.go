@@ -310,3 +310,33 @@ func TestCrossCorrelationPeakPooledReuse(t *testing.T) {
 		}
 	}
 }
+
+func TestEuclideanDistShiftedMatchesRotate(t *testing.T) {
+	// The in-place shifted distance must agree exactly with materialising
+	// the rotation, for positive, negative and out-of-range shifts (the
+	// same wrap rule as Series.Rotate).
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 2, 7, 24} {
+		a := randSeries(rng, n)
+		b := randSeries(rng, n)
+		for _, k := range []int{0, 1, -1, n - 1, n, n + 3, -n, -n - 5, 3 * n} {
+			want, err := EuclideanDist(a, b.Rotate(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := EuclideanDistShifted(a, b, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("n=%d k=%d: shifted %v, rotate reference %v", n, k, got, want)
+			}
+		}
+	}
+	if _, err := EuclideanDistShifted(randSeries(rng, 4), randSeries(rng, 5), 1); err != ErrLengthMismatch {
+		t.Fatalf("length mismatch: %v", err)
+	}
+	if d, err := EuclideanDistShifted(nil, nil, 3); err != nil || d != 0 {
+		t.Fatalf("empty series: %v %v", d, err)
+	}
+}

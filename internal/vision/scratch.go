@@ -52,6 +52,22 @@ func (s *Scratch) Clean(mask *Binary, r int) *Binary {
 	return CloseInto(mask, mask, r, s.tmpA, s.tmpB)
 }
 
+// Open applies the morphological opening (erode then dilate, radius r) to
+// mask in place using the scratch's ping/pong planes, and returns mask. It is
+// the allocation-free counterpart of the package-level Open for callers (the
+// gesture front half) that do not want Clean's hole-filling close pass.
+func (s *Scratch) Open(mask *Binary, r int) *Binary {
+	return OpenInto(mask, mask, r, s.tmpA, s.tmpB)
+}
+
+// LargestComponent is the allocation-free variant of the package-level
+// LargestComponent: the largest 8-connected foreground region of mask, as a
+// mask aliasing scratch storage (valid until the next use of s) plus its
+// statistics. It returns ErrEmptyImage when mask has no foreground.
+func (s *Scratch) LargestComponent(mask *Binary) (*Binary, Component, error) {
+	return s.largestComponent(mask)
+}
+
 // ExtractSignatureNorm is the allocation-free variant of the package-level
 // ExtractSignatureNorm: largest component, Moore contour, n-sample
 // centroid-distance signature under mode. The returned series and contour
