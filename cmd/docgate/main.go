@@ -1,0 +1,275 @@
+// Command docgate is the repository's documentation gate, run by the CI docs
+// job beside staticcheck's ST1000/ST1020/ST1021 checks:
+//
+//	go run ./cmd/docgate                  # gate ./internal/... + README/DESIGN/EXPERIMENTS links
+//	go run ./cmd/docgate -pkgs ./internal -md README.md,DESIGN.md
+//
+// It fails (exit 1, one finding per line) when any package under the gated
+// trees lacks a real package comment, when an exported function, method or
+// type misses its doc comment or the comment doesn't start with the symbol's
+// name (the godoc convention staticcheck enforces as ST1020/ST1021 — docgate
+// duplicates those two so the gate also runs where staticcheck isn't
+// installed), or when a relative markdown link points at a file that does not
+// exist. URLs with a scheme and pure #fragment links are not checked.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the gate; split from main for testability.
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("docgate", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	pkgs := fl.String("pkgs", "./internal,./cmd", "comma-separated package trees to gate")
+	md := fl.String("md", "README.md,DESIGN.md,EXPERIMENTS.md",
+		"comma-separated markdown files whose relative links must resolve")
+	minPkgComment := fl.Int("min-pkg-comment", 40,
+		"minimum package-comment length in bytes (a one-liner front door is not a front door)")
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+
+	var findings []string
+	for _, root := range strings.Split(*pkgs, ",") {
+		root = strings.TrimSpace(root)
+		if root == "" {
+			continue
+		}
+		fs, err := gatePackages(root, *minPkgComment)
+		if err != nil {
+			fmt.Fprintf(stderr, "docgate: %v\n", err)
+			return 2
+		}
+		findings = append(findings, fs...)
+	}
+	for _, file := range strings.Split(*md, ",") {
+		file = strings.TrimSpace(file)
+		if file == "" {
+			continue
+		}
+		fs, err := gateLinks(file)
+		if err != nil {
+			fmt.Fprintf(stderr, "docgate: %v\n", err)
+			return 2
+		}
+		findings = append(findings, fs...)
+	}
+
+	if len(findings) == 0 {
+		fmt.Fprintln(stdout, "docgate: ok")
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	fmt.Fprintf(stdout, "docgate: %d finding(s)\n", len(findings))
+	return 1
+}
+
+// gatePackages walks every Go package directory under root and returns the
+// documentation findings.
+func gatePackages(root string, minPkgComment int) ([]string, error) {
+	var findings []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		files, err := goFiles(path)
+		if err != nil || len(files) == 0 {
+			return err
+		}
+		fset := token.NewFileSet()
+		var parsed []*ast.File
+		pkgName := ""
+		for _, file := range files {
+			f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+			if err != nil {
+				return fmt.Errorf("%s: %w", file, err)
+			}
+			parsed = append(parsed, f)
+			pkgName = f.Name.Name
+		}
+		findings = append(findings, gatePackage(fset, path, pkgName, parsed, minPkgComment)...)
+		return nil
+	})
+	return findings, err
+}
+
+// goFiles lists dir's non-test Go files (no recursion; WalkDir handles that).
+func goFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	return files, nil
+}
+
+// gatePackage checks one parsed package: package comment presence/weight and
+// exported-symbol doc comments.
+func gatePackage(fset *token.FileSet, dir, name string, files []*ast.File, minPkgComment int) []string {
+	var findings []string
+	var pkgDoc string
+	for _, f := range files {
+		if f.Doc != nil && len(f.Doc.Text()) > len(pkgDoc) {
+			pkgDoc = f.Doc.Text()
+		}
+	}
+	switch {
+	case pkgDoc == "":
+		findings = append(findings, fmt.Sprintf("%s: package %s has no package comment", dir, name))
+	case len(pkgDoc) < minPkgComment:
+		findings = append(findings, fmt.Sprintf(
+			"%s: package %s package comment is %d bytes — a one-liner, not a front door (< %d)",
+			dir, name, len(pkgDoc), minPkgComment))
+	}
+
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			findings = append(findings, gateDecl(fset, decl)...)
+		}
+	}
+	return findings
+}
+
+// gateDecl checks one top-level declaration's doc comment.
+func gateDecl(fset *token.FileSet, decl ast.Decl) []string {
+	var findings []string
+	at := func(pos token.Pos) string { return fset.Position(pos).String() }
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedReceiver(d) {
+			return nil
+		}
+		what := "function"
+		if d.Recv != nil {
+			what = "method"
+		}
+		switch {
+		case d.Doc == nil:
+			findings = append(findings, fmt.Sprintf("%s: exported %s %s has no doc comment",
+				at(d.Pos()), what, d.Name.Name))
+		case !startsWithName(d.Doc.Text(), d.Name.Name, false):
+			findings = append(findings, fmt.Sprintf(
+				"%s: doc comment on exported %s %s should start with %q (ST1020)",
+				at(d.Pos()), what, d.Name.Name, d.Name.Name))
+		}
+	case *ast.GenDecl:
+		if d.Tok != token.TYPE {
+			return nil // const/var form is not gated (ST1022 is not enabled)
+		}
+		for _, spec := range d.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok || !ts.Name.IsExported() {
+				continue
+			}
+			doc := ts.Doc
+			if doc == nil && len(d.Specs) == 1 {
+				doc = d.Doc
+			}
+			switch {
+			case doc == nil:
+				findings = append(findings, fmt.Sprintf("%s: exported type %s has no doc comment",
+					at(ts.Pos()), ts.Name.Name))
+			case !startsWithName(doc.Text(), ts.Name.Name, true):
+				findings = append(findings, fmt.Sprintf(
+					"%s: doc comment on exported type %s should start with %q (ST1021)",
+					at(ts.Pos()), ts.Name.Name, ts.Name.Name))
+			}
+		}
+	}
+	return findings
+}
+
+// exportedReceiver reports whether a method's receiver type is exported (a
+// doc gate on methods of unexported types would gate private detail).
+// Non-methods count as exported.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// startsWithName reports whether a doc comment begins with the symbol name,
+// optionally allowing a leading article (the ST1021 convention for types).
+func startsWithName(text, name string, article bool) bool {
+	text = strings.TrimSpace(text)
+	if strings.HasPrefix(text, name) {
+		return true
+	}
+	if !article {
+		return false
+	}
+	for _, a := range []string{"A ", "An ", "The "} {
+		if strings.HasPrefix(text, a+name) {
+			return true
+		}
+	}
+	return false
+}
+
+// mdLink matches inline markdown links; image links share the shape.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// gateLinks verifies that every relative link target in file exists on disk,
+// resolved against the file's directory.
+func gateLinks(file string) ([]string, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	base := filepath.Dir(file)
+	var findings []string
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(base, target)); err != nil {
+				findings = append(findings, fmt.Sprintf(
+					"%s:%d: broken relative link %q", file, i+1, m[1]))
+			}
+		}
+	}
+	return findings, nil
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays the given files out under a fresh temp dir and returns it.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// gate runs docgate over the tree and returns exit code + output.
+func gate(t *testing.T, dir string, args ...string) (int, string) {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(cwd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	var out strings.Builder
+	code := run(args, &out, &out)
+	return code, out.String()
+}
+
+const goodPkg = `// Package good is a fully documented example package whose comment is
+// long enough to count as a front door for the gate under test.
+package good
+
+// Widget is a documented exported type.
+type Widget struct{}
+
+// Spin is a documented exported method.
+func (w *Widget) Spin() {}
+
+// New is a documented exported function.
+func New() *Widget { return &Widget{} }
+
+type hidden struct{}
+
+func (h hidden) quiet() {}
+`
+
+func TestDocgateCleanTreePasses(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"internal/good/good.go": goodPkg,
+		"README.md":             "see [design](DESIGN.md) and [web](https://example.com)\n",
+		"DESIGN.md":             "back to [readme](README.md#testing)\n",
+	})
+	code, out := gate(t, dir, "-pkgs", "./internal", "-md", "README.md,DESIGN.md")
+	if code != 0 {
+		t.Fatalf("clean tree failed (%d):\n%s", code, out)
+	}
+}
+
+func TestDocgateFindsMissingDocs(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"internal/bare/bare.go": `package bare
+
+type Exposed struct{}
+
+func Run() {}
+
+// misnamed has a comment that does not start with the symbol name.
+func Misnamed() {}
+`,
+	})
+	code, out := gate(t, dir, "-pkgs", "./internal", "-md", "")
+	if code != 1 {
+		t.Fatalf("undocumented tree passed (%d):\n%s", code, out)
+	}
+	for _, want := range []string{
+		"has no package comment",
+		"exported type Exposed has no doc comment",
+		"exported function Run has no doc comment",
+		`should start with "Misnamed"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDocgateFlagsOneLinerPackageComment(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"internal/terse/terse.go": "// Package terse is short.\npackage terse\n",
+	})
+	code, out := gate(t, dir, "-pkgs", "./internal", "-md", "")
+	if code != 1 || !strings.Contains(out, "one-liner") {
+		t.Fatalf("one-liner package comment passed (%d):\n%s", code, out)
+	}
+	// The same tree passes when the bar is lowered.
+	if code, out := gate(t, dir, "-pkgs", "./internal", "-md", "", "-min-pkg-comment", "10"); code != 0 {
+		t.Fatalf("lowered bar still failed (%d):\n%s", code, out)
+	}
+}
+
+func TestDocgateFindsBrokenLinks(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"README.md": "a [dead link](MISSING.md), an [anchor](#ok), a [url](https://x.y)\n",
+	})
+	code, out := gate(t, dir, "-pkgs", "", "-md", "README.md")
+	if code != 1 || !strings.Contains(out, `broken relative link "MISSING.md"`) {
+		t.Fatalf("broken link passed (%d):\n%s", code, out)
+	}
+	if strings.Contains(out, "#ok") || strings.Contains(out, "https://x.y") {
+		t.Fatalf("anchor or URL wrongly flagged:\n%s", out)
+	}
+}

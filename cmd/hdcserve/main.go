@@ -114,6 +114,7 @@ func buildService(workers, queue, window int, dict string, idle time.Duration,
 		core.WithPipelineConfig(pipeline.Config{
 			Workers: workers, QueueDepth: queue, StreamWindow: window,
 		}),
+		core.WithPoolLabel("hdcserve"),
 	)
 	if err != nil {
 		return nil, nil, err

@@ -15,6 +15,7 @@ import (
 	"hdc/internal/geom"
 	"hdc/internal/mission"
 	"hdc/internal/orchard"
+	"hdc/internal/pipeline"
 )
 
 func main() {
@@ -25,6 +26,10 @@ func main() {
 	trapEvery := flag.Int("trap-every", 3, "a trap every n-th tree")
 	warmup := flag.Duration("warmup", 2*time.Hour, "pest accumulation before the mission")
 	drones := flag.Int("drones", 1, "fleet size")
+	privatePools := flag.Bool("private-pools", false,
+		"give each fleet drone a private recognition pool instead of one fleet-shared pool")
+	poolWorkers := flag.Int("pool-workers", 0,
+		"fleet-shared pool worker count (default NumCPU)")
 	csvOut := flag.Bool("csv", false, "emit the event transcript as CSV")
 	verbose := flag.Bool("v", false, "print the full event transcript")
 	flag.Parse()
@@ -39,7 +44,7 @@ func main() {
 	world.Step(*warmup)
 
 	if *drones > 1 {
-		runFleet(*drones, *seed, world)
+		runFleet(*drones, *seed, world, !*privatePools, *poolWorkers)
 		return
 	}
 
@@ -85,17 +90,32 @@ func main() {
 	}
 }
 
-// runFleet executes a multi-drone mission and prints the fleet report.
-func runFleet(n int, seed int64, world *orchard.Orchard) {
-	fleet, err := mission.NewFleet(n, world, mission.Config{}, func(i int) (*core.System, error) {
-		return core.NewSystem(
-			core.WithSeed(seed+int64(i)),
+// runFleet executes a multi-drone mission and prints the fleet report. By
+// default the drones share one recognition pool (recognition capacity as a
+// fleet-level resource, with per-drone attribution); -private-pools restores
+// one pool per drone.
+func runFleet(n int, seed int64, world *orchard.Orchard, sharedPool bool, poolWorkers int) {
+	droneOpts := func(i int) []core.Option {
+		return []core.Option{
+			core.WithSeed(seed + int64(i)),
 			core.WithHome(geom.V3(-6-float64(3*i), -6, 0)),
-		)
-	})
+		}
+	}
+	var fleet *mission.Fleet
+	var err error
+	if sharedPool {
+		fleet, err = mission.NewPooledFleet(n, world, mission.Config{},
+			[]core.Option{core.WithPipelineConfig(pipeline.Config{Workers: poolWorkers})},
+			droneOpts)
+	} else {
+		fleet, err = mission.NewFleet(n, world, mission.Config{}, func(i int) (*core.System, error) {
+			return core.NewSystem(droneOpts(i)...)
+		})
+	}
 	if err != nil {
 		fail(err)
 	}
+	defer fleet.Close()
 	rep, err := fleet.Run()
 	if err != nil {
 		fail(err)
@@ -106,6 +126,23 @@ func runFleet(n int, seed int64, world *orchard.Orchard) {
 	for i, r := range rep.PerDrone {
 		fmt.Printf("  drone %d: %s\n", i, r)
 	}
+	if stats, shared := fleet.PoolStats(); shared {
+		fmt.Printf("shared recognition pool: %d workers, %d frames recognised\n",
+			stats.Workers, poolFrames(stats))
+		for _, o := range stats.Owners {
+			fmt.Printf("  %s: %d frames, %d ring accepts, %d shed\n",
+				o.Label, o.Frames, o.IngestAccepted, o.IngestDropped)
+		}
+	}
+}
+
+// poolFrames totals the per-owner completed-frame counters.
+func poolFrames(stats pipeline.Stats) uint64 {
+	var total uint64
+	for _, o := range stats.Owners {
+		total += o.Frames
+	}
+	return total
 }
 
 func fail(err error) {

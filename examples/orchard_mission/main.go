@@ -64,4 +64,47 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Printf("traps over the action threshold: %d — spraying decision due\n", rep.ActionTraps)
+
+	// Act two: the same block monitored by a fleet of three drones sharing
+	// ONE recognition pool — recognition capacity as fleet infrastructure.
+	// Each drone's conversation camera feeds the pool through its own
+	// bounded ring, and the pool reports per-drone attribution.
+	world2, err := orchard.Generate(orchard.Config{
+		Rows: 5, Cols: 8, TrapEvery: 4,
+		Humans: 3, PestRatePerHour: 25,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	world2.Step(3 * time.Hour)
+
+	fleet, err := mission.NewPooledFleet(3, world2, mission.Config{PestThreshold: 4},
+		nil, // pool defaults: NumCPU workers, default scene + recogniser
+		func(i int) []core.Option {
+			return []core.Option{
+				core.WithSeed(seed + int64(i)),
+				core.WithHome(geom.V3(-8-float64(4*i), -8, 0)),
+			}
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fleet.Close()
+
+	frep, err := fleet.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("=== fleet report (3 drones, one shared recognition pool) ===")
+	for i, r := range frep.PerDrone {
+		fmt.Printf("  drone %d: %s\n", i, r)
+	}
+	if stats, shared := fleet.PoolStats(); shared {
+		fmt.Printf("pool: %d workers shared by %d drones\n", stats.Workers, stats.Attached)
+		for _, o := range stats.Owners {
+			fmt.Printf("  %s recognised %d frames (%d ring accepts, %d shed)\n",
+				o.Label, o.Frames, o.IngestAccepted, o.IngestDropped)
+		}
+	}
 }

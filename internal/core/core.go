@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hdc/internal/drone"
 	"hdc/internal/flight"
@@ -28,20 +29,23 @@ import (
 
 // config collects option state.
 type config struct {
-	seed     int64
-	flight   flight.Params
-	ring     ledring.Options
-	safety   drone.SafetyLimits
-	sceneCfg scene.Config
-	recCfg   recognizer.Config
-	protoCfg protocol.Config
-	pipeCfg  pipeline.Config
-	home     geom.Vec3
-	standoff float64 // negotiation stand-off distance (m)
-	negotAlt float64 // negotiation altitude (m)
-	windGust float64
-	windMean geom.Vec2
-	windSet  bool
+	seed        int64
+	flight      flight.Params
+	ring        ledring.Options
+	safety      drone.SafetyLimits
+	sceneCfg    scene.Config
+	recCfg      recognizer.Config
+	protoCfg    protocol.Config
+	pipeCfg     pipeline.Config
+	sharedPipe  *pipeline.Pipeline // non-nil: attach instead of owning a pool
+	poolLabel   string             // stats attribution name on the shared pool
+	perceiveDdl time.Duration      // pooled-perception deadline (0: wait)
+	home        geom.Vec3
+	standoff    float64 // negotiation stand-off distance (m)
+	negotAlt    float64 // negotiation altitude (m)
+	windGust    float64
+	windMean    geom.Vec2
+	windSet     bool
 }
 
 // Option configures NewSystem.
@@ -69,8 +73,44 @@ func WithRecognizerConfig(r recognizer.Config) Option { return func(c *config) {
 func WithProtocolConfig(p protocol.Config) Option { return func(c *config) { c.protoCfg = p } }
 
 // WithPipelineConfig sizes the streaming recognition worker pool behind
-// NewStream/RecognizeBatch (default: NumCPU workers).
+// NewStream/RecognizeBatch (default: NumCPU workers). It is ignored when the
+// system attaches to a shared pool via WithSharedPipeline — the pool was
+// sized by whoever built it.
 func WithPipelineConfig(p pipeline.Config) Option { return func(c *config) { c.pipeCfg = p } }
+
+// WithSharedPipeline attaches the system to an externally built worker pool
+// (NewSharedPool, or another system's exported pipeline) instead of starting
+// a private one. Build the pool with the same scene and recogniser options
+// as the systems that attach to it: the pool recognises against its own
+// reference database, so a resolution or tuning mismatch between a drone's
+// camera and the pool silently degrades recognition. The attachment is made
+// inside NewSystem — so the pool's reference count always matches the set of
+// constructed systems — and NewSystem fails with pipeline.ErrClosed if the
+// pool has already shut down.
+// The system's streaming calls and its conversation perception all draw on
+// the shared pool; System.Close detaches, and only the last attached
+// system's Close drains the pool. This is how a mission.Fleet makes
+// recognition capacity a fleet-level resource rather than a per-drone one.
+func WithSharedPipeline(p *pipeline.Pipeline) Option {
+	return func(c *config) { c.sharedPipe = p }
+}
+
+// WithPoolLabel names this system in the pool's per-owner statistics
+// (pipeline.Stats.Owners) — a drone ID, a server name. Unlabelled systems
+// are assigned "owner-N" in attach order.
+func WithPoolLabel(label string) Option { return func(c *config) { c.poolLabel = label } }
+
+// WithPerceptionDeadline bounds (in wall-clock time) how long a shared
+// system's conversation perception waits for the fleet pool before giving
+// the frame up: past the deadline the conversation perceives nothing — the
+// protocol's timeout machinery takes over — and the abandoned frame is shed
+// at the drone's own ring (owner-attributed) or discarded when its late
+// result lands. Zero (the default) waits for the pool indefinitely, which
+// keeps simulations deterministic; real fleets holding a perception budget
+// set a deadline. Ignored on systems without WithSharedPipeline.
+func WithPerceptionDeadline(d time.Duration) Option {
+	return func(c *config) { c.perceiveDdl = d }
+}
 
 // WithHome places the drone's base station.
 func WithHome(h geom.Vec3) Option { return func(c *config) { c.home = h } }
@@ -108,10 +148,18 @@ type System struct {
 	standoff float64
 	negotAlt float64
 
-	pipeCfg  pipeline.Config
-	pipeOnce sync.Once
-	pipe     atomic.Pointer[pipeline.Pipeline]
-	pipeErr  error
+	pipeCfg          pipeline.Config
+	sharedPipe       *pipeline.Pipeline // non-nil: externally owned shared pool
+	poolLabel        string
+	perceiveDeadline time.Duration // pooled-perception wall-clock budget (0: wait)
+	pipeOnce         sync.Once
+	pipe             atomic.Pointer[pipeline.Pipeline]
+	owner            atomic.Pointer[pipeline.Owner] // this system's attachment handle
+	pipeErr          error
+
+	feedOnce sync.Once
+	feed     *perceptionFeed // pool-routed conversation perception (shared systems)
+	feedErr  error
 
 	framePool raster.Pool // recycles conversation/perception frame buffers
 }
@@ -158,17 +206,63 @@ func NewSystem(opts ...Option) (*System, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 
-	return &System{
-		Agent:    agent,
-		Rend:     rend,
-		Rec:      rec,
-		Engine:   protocol.NewEngine(cfg.protoCfg, log),
-		Log:      log,
-		Rng:      rng,
-		standoff: cfg.standoff,
-		negotAlt: cfg.negotAlt,
-		pipeCfg:  cfg.pipeCfg,
-	}, nil
+	sys := &System{
+		Agent:            agent,
+		Rend:             rend,
+		Rec:              rec,
+		Engine:           protocol.NewEngine(cfg.protoCfg, log),
+		Log:              log,
+		Rng:              rng,
+		standoff:         cfg.standoff,
+		negotAlt:         cfg.negotAlt,
+		pipeCfg:          cfg.pipeCfg,
+		sharedPipe:       cfg.sharedPipe,
+		poolLabel:        cfg.poolLabel,
+		perceiveDeadline: cfg.perceiveDdl,
+	}
+	if cfg.sharedPipe != nil {
+		// Attach eagerly: the pool's reference count must reflect every
+		// constructed system, or a fleet whose first drone finished before
+		// the last one started streaming would shut the pool down early.
+		if _, err := sys.ensurePipeline(); err != nil {
+			return nil, fmt.Errorf("core: attach shared pipeline: %w", err)
+		}
+	}
+	return sys, nil
+}
+
+// NewSharedPool builds a standalone recognition worker pool for a fleet: a
+// renderer and recogniser assembled from the same options NewSystem honours
+// (scene, recogniser, negotiation geometry and pipeline sizing; airframe and
+// world options are irrelevant here and ignored), references built at the
+// canonical negotiation view, and the workers started. Hand the pool to N
+// systems via WithSharedPipeline; it drains when the last attached system
+// closes, or immediately on Pipeline.Close (the force path). A pool nobody
+// ever attaches to must be shut down with Pipeline.Close.
+func NewSharedPool(opts ...Option) (*pipeline.Pipeline, error) {
+	cfg := &config{
+		seed:     1,
+		standoff: 3,
+		negotAlt: 5,
+	}
+	for _, o := range opts {
+		o(cfg)
+	}
+	rend := scene.NewRenderer(cfg.sceneCfg)
+	rec, err := recognizer.New(cfg.recCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: shared pool: %w", err)
+	}
+	if err := rec.BuildReferences(rend, scene.View{
+		AltitudeM: cfg.negotAlt, DistanceM: cfg.standoff,
+	}); err != nil {
+		return nil, fmt.Errorf("core: shared pool: %w", err)
+	}
+	p, err := pipeline.New(rec, cfg.pipeCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: shared pool: %w", err)
+	}
+	return p, nil
 }
 
 // EnsureAirborne takes off if the drone is parked.

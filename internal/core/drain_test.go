@@ -126,6 +126,113 @@ func TestCloseDuringInFlightBatches(t *testing.T) {
 	}
 }
 
+// TestMultiSystemAttachDetachDrain hammers the reference-counted lifecycle
+// end to end: goroutines keep constructing systems against one shared pool
+// (attach), pushing batch and stream traffic through them, and closing them
+// (detach) in arbitrary interleavings, while the main goroutine eventually
+// pulls the plug. Every operation must resolve to success or a clean
+// pipeline.ErrClosed/ErrStreamClosed — never a panic, a hang, or a system
+// that attached to a pool already drained by the last detach.
+func TestMultiSystemAttachDetachDrain(t *testing.T) {
+	pool, err := NewSharedPool(
+		WithSceneConfig(scene.Config{Width: 128, Height: 128}),
+		WithPipelineConfig(pipeline.Config{Workers: 2, QueueDepth: 2, StreamWindow: 2}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seed, err := NewSystem(WithSceneConfig(scene.Config{Width: 128, Height: 128}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+	frames := make([]*raster.Gray, 4)
+	for i := range frames {
+		f, err := seed.Rend.Render(body.SignYes, scene.ReferenceView(), body.Options{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[i] = f
+	}
+
+	const lanes = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, lanes*8)
+	for l := 0; l < lanes; l++ {
+		l := l
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 6; round++ {
+				sys, err := NewSystem(
+					WithSceneConfig(scene.Config{Width: 128, Height: 128}),
+					WithSharedPipeline(pool),
+				)
+				if err != nil {
+					if !errors.Is(err, pipeline.ErrClosed) {
+						errCh <- err
+					}
+					return
+				}
+				if (l+round)%2 == 0 {
+					_, errs, err := sys.RecognizeBatch(frames)
+					if err != nil {
+						if !errors.Is(err, pipeline.ErrClosed) {
+							errCh <- err
+						}
+					} else {
+						for _, e := range errs {
+							if e != nil && !errors.Is(e, pipeline.ErrClosed) {
+								errCh <- e
+							}
+						}
+					}
+				} else {
+					st, err := sys.NewStream()
+					if err != nil {
+						if !errors.Is(err, pipeline.ErrClosed) {
+							errCh <- err
+						}
+					} else {
+						go func() {
+							for _, f := range frames {
+								if st.Submit(f) != nil {
+									return
+								}
+							}
+							st.Close()
+						}()
+						for r := range st.Results() {
+							if r.Err != nil &&
+								!errors.Is(r.Err, pipeline.ErrClosed) &&
+								!errors.Is(r.Err, pipeline.ErrStreamClosed) {
+								errCh <- r.Err
+							}
+						}
+					}
+				}
+				sys.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	// Every lane detached its systems, so the last detach has already
+	// drained the pool; the force path must still be a harmless no-op, and
+	// the closed verdict must be visible to late arrivals.
+	pool.Close()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if s := pool.Stats(); !s.Closed || s.Attached != 0 {
+		t.Fatalf("end state: %+v", s)
+	}
+	if _, err := NewSystem(WithSharedPipeline(pool)); !errors.Is(err, pipeline.ErrClosed) {
+		t.Fatalf("attach after drain: %v, want ErrClosed", err)
+	}
+}
+
 // TestPoolStatsDoesNotStartPool pins that observing a system is side-effect
 // free: PoolStats must not start (or block) the worker pool, and must not
 // consume the lazy-start once.

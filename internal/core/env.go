@@ -9,6 +9,7 @@ import (
 	"hdc/internal/flight"
 	"hdc/internal/geom"
 	"hdc/internal/human"
+	"hdc/internal/pipeline"
 	"hdc/internal/protocol"
 	"hdc/internal/raster"
 	"hdc/internal/recognizer"
@@ -113,18 +114,46 @@ func (e *conversationEnv) PerceiveSign(timeout time.Duration) (body.Sign, bool, 
 		e.extra += timeout - resp.Latency
 		return 0, false, nil
 	}
-	frame, err := e.sys.Rend.RenderInto(e.frame, resp.Sign, view, resp.BodyOptions(), e.sys.Rng)
+	// A private system renders into the conversation's reusable buffer and
+	// recognises synchronously on its scratch. A system attached to a fleet
+	// pool renders into a fresh framePool buffer — ownership passes to the
+	// perception feed at Offer, which recycles it on every path — and the
+	// frame travels through the drone's ingest ring to the shared workers
+	// (see feed.go).
+	target := e.frame
+	if e.sys.perceivePooled() {
+		cfg := e.sys.Rend.Config()
+		target = e.sys.framePool.Get(cfg.Width, cfg.Height)
+	}
+	frame, err := e.sys.Rend.RenderInto(target, resp.Sign, view, resp.BodyOptions(), e.sys.Rng)
 	if err != nil {
+		if target != e.frame {
+			e.sys.framePool.Put(target)
+		}
 		e.extra += timeout - resp.Latency
 		return 0, false, nil
 	}
-	res, err := e.sys.Rec.RecognizeWith(e.scratch, frame)
+	res, err := e.sys.perceive(e.scratch, frame)
 	e.extra += res.Timings.Total
 	if err != nil {
-		if errors.Is(err, recognizer.ErrNoSign) {
+		switch {
+		case errors.Is(err, recognizer.ErrNoSign):
 			return 0, false, nil
+		case errors.Is(err, errFrameShed):
+			// The fleet pool was saturated and this drone's ring shed the
+			// frame: the drone simply saw nothing this round, and the
+			// protocol's timeout/retry machinery handles it like any other
+			// missed perception.
+			e.extra += timeout - resp.Latency
+			return 0, false, nil
+		case errors.Is(err, pipeline.ErrClosed), errors.Is(err, pipeline.ErrSourceClosed),
+			errors.Is(err, pipeline.ErrStreamClosed):
+			// The pool went away mid-conversation (shutdown): surface it so
+			// the mission aborts cleanly instead of spinning on a dead pool.
+			return 0, false, err
+		default:
+			return 0, false, nil // vision failure = nothing perceived
 		}
-		return 0, false, nil // vision failure = nothing perceived
 	}
 	return res.Sign, true, nil
 }

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"hdc/internal/pipeline"
+	"hdc/internal/raster"
+	"hdc/internal/recognizer"
+)
+
+// feed.go routes a shared system's conversation perception through the fleet
+// pool. Each drone's camera frames pass through a private bounded ring
+// (pipeline.Source) into an owner-attributed stream, so recognition capacity
+// is drawn from the fleet-level pool. Overload degrades per drone: with a
+// perception deadline set (WithPerceptionDeadline), a drone whose frame is
+// not served in time gives up on that frame — the next offer evicts it from
+// the 1-slot ring (shed, owner-attributed) and the conversation simply
+// perceives nothing, handing control to the protocol's timeout machinery —
+// instead of queueing unboundedly or starving the rest of the fleet. Without
+// a deadline (the default, and the deterministic choice for simulation),
+// perceive waits for the pool: the per-stream window still bounds how much
+// of the pool one drone can hold, so fleet isolation holds either way.
+// Private (non-shared) systems keep the direct synchronous render→recognise
+// path; their pool has no competing tenants.
+//
+// Frame ownership in pooled mode: perceive takes ownership of the frame at
+// Offer and recycles every frame it ever offered back into the system's
+// framePool exactly once — on delivery, on ring eviction, or when a late
+// result of an abandoned (timed-out) frame finally lands. Callers therefore
+// render each pooled perception into a fresh framePool buffer and never
+// touch it again.
+
+// errFrameShed reports that a perception frame was shed (ring eviction under
+// pool pressure) or abandoned at its deadline; conversations treat it as
+// "nothing perceived", never as a hard failure.
+var errFrameShed = errors.New("core: perception frame shed under pool pressure")
+
+// perceptionFeed is one system's camera lane into its (typically shared)
+// worker pool: an owner-attributed stream fronted by a 1-slot drop-oldest
+// ring, plus the bookkeeping that pairs the single in-flight perception with
+// its result, shed notice, or deadline. Conversations are documented
+// non-concurrent per system, so at most one perception is waiting at a time.
+type perceptionFeed struct {
+	sys *System
+	st  *pipeline.Stream
+	src *pipeline.Source
+
+	mu      sync.Mutex
+	cur     *raster.Gray  // frame the current perception is waiting on
+	curShed chan struct{} // cap 1: cur was evicted/discarded by the ring
+}
+
+// ensureFeed lazily builds the system's perception feed on first pooled
+// perception.
+func (s *System) ensureFeed() (*perceptionFeed, error) {
+	s.feedOnce.Do(func() {
+		o, err := s.ensurePipeline()
+		if err != nil {
+			s.feedErr = err
+			return
+		}
+		st, err := o.NewStream()
+		if err != nil {
+			s.feedErr = err
+			return
+		}
+		feed := &perceptionFeed{sys: s, st: st, curShed: make(chan struct{}, 1)}
+		// Results discarded on the stream's abandon path (closeFeed) recycle
+		// through the same resolver, so no pooled buffer is ever stranded.
+		st.SetDropHook(feed.dropped)
+		// Capacity 1 gives freshest-frame semantics: when the forwarder is
+		// parked in Submit against a saturated pool, the next Offer evicts
+		// whatever the ring still holds.
+		src, err := pipeline.NewSource(st, pipeline.SourceConfig{
+			Capacity: 1,
+			OnDrop:   feed.dropped,
+		})
+		if err != nil {
+			st.Abandon()
+			s.feedErr = err
+			return
+		}
+		feed.src = src
+		s.feed = feed
+	})
+	if s.feedErr != nil {
+		return nil, s.feedErr
+	}
+	return s.feed, nil
+}
+
+// dropped handles a frame the ring gave up on: if it is the frame the
+// current perception waits for, signal the shed; either way the buffer goes
+// back to the frame pool. Every offered frame resolves exactly once (result
+// or drop), so a recycled pointer can never be confused with a live one.
+func (f *perceptionFeed) dropped(frame *raster.Gray) {
+	f.mu.Lock()
+	if frame == f.cur {
+		f.cur = nil
+		select {
+		case f.curShed <- struct{}{}:
+		default:
+		}
+	}
+	f.mu.Unlock()
+	f.sys.framePool.Put(frame)
+}
+
+// finish resolves a delivered result frame: report whether it belongs to the
+// current perception, and recycle the buffer.
+func (f *perceptionFeed) finish(frame *raster.Gray) (current bool) {
+	f.mu.Lock()
+	if frame == f.cur {
+		f.cur = nil
+		current = true
+	}
+	f.mu.Unlock()
+	if frame != nil {
+		f.sys.framePool.Put(frame)
+	}
+	return current
+}
+
+// perceive pushes one rendered frame through the ring and waits for the
+// pool's verdict, a shed notice, or — when the system has a perception
+// deadline — the deadline. Ownership of frame passes to the feed (see the
+// file comment); on every return path the buffer is or will be recycled.
+func (f *perceptionFeed) perceive(frame *raster.Gray) (recognizer.Result, error) {
+	f.mu.Lock()
+	f.cur = frame
+	// Drain a stale shed token from a perception that timed out in the same
+	// instant its frame was evicted.
+	select {
+	case <-f.curShed:
+	default:
+	}
+	f.mu.Unlock()
+
+	if err := f.src.Offer(frame); err != nil {
+		f.mu.Lock()
+		f.cur = nil
+		f.mu.Unlock()
+		f.sys.framePool.Put(frame)
+		return recognizer.Result{}, err
+	}
+
+	var deadline <-chan time.Time
+	if d := f.sys.perceiveDeadline; d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	for {
+		select {
+		case r, ok := <-f.st.Results():
+			if !ok {
+				return recognizer.Result{}, pipeline.ErrClosed
+			}
+			if f.finish(r.Frame) {
+				return r.Res, r.Err
+			}
+			// A late result of an abandoned frame: recycled, keep waiting.
+		case <-f.curShed:
+			return recognizer.Result{}, errFrameShed
+		case <-deadline:
+			// Give up on this frame; it stays in flight and resolves later
+			// as a stale result or a ring eviction, recycling its buffer.
+			f.mu.Lock()
+			f.cur = nil
+			f.mu.Unlock()
+			return recognizer.Result{}, errFrameShed
+		}
+	}
+}
+
+// perceivePooled reports whether conversation perception goes through the
+// worker pool (fleet-shared systems) rather than the synchronous in-process
+// recogniser.
+func (s *System) perceivePooled() bool { return s.sharedPipe != nil }
+
+// perceive classifies one rendered conversation frame. A private system runs
+// the recogniser synchronously on the caller's scratch, and the caller keeps
+// owning the frame. A shared system routes the frame through its ring and
+// the fleet pool — the frame must come from the system's framePool and
+// ownership passes to the feed.
+func (s *System) perceive(sc *recognizer.Scratch, frame *raster.Gray) (recognizer.Result, error) {
+	if !s.perceivePooled() {
+		return s.Rec.RecognizeWith(sc, frame)
+	}
+	feed, err := s.ensureFeed()
+	if err != nil {
+		s.framePool.Put(frame)
+		return recognizer.Result{}, err
+	}
+	return feed.perceive(frame)
+}
+
+// closeFeed tears the perception feed down without blocking on a wedged
+// pool: the ring discards anything still queued (recycling through the drop
+// hook) and the stream drops undelivered results. Safe when no feed was
+// ever built.
+func (s *System) closeFeed() {
+	s.feedOnce.Do(func() { s.feedErr = pipeline.ErrClosed })
+	if s.feed == nil {
+		return
+	}
+	s.feed.src.Abandon()
+	s.feed.st.Abandon()
+}

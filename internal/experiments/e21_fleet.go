@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdc/internal/body"
+	"hdc/internal/core"
+	"hdc/internal/pipeline"
+	"hdc/internal/raster"
+	"hdc/internal/scene"
+	"hdc/internal/telemetry"
+)
+
+// E21FleetPool measures recognition capacity as a fleet-level resource: a
+// fleet of 8 drone cameras runs the same bursty recognition workload twice —
+// once against ONE shared worker pool (every system attached via
+// core.WithSharedPipeline, total W workers) and once against 8 private pools
+// of W/8 workers each (equal total capacity). One drone is deliberately
+// wedged: it floods its camera ring and never reads results, the failure
+// mode of a hung consumer. The claims under test: the shared pool's
+// aggregate throughput is at least the private configuration's (idle
+// capacity flows to whichever drone is bursting instead of being fenced into
+// per-drone slices), and the wedged drone sheds frames at its own
+// pipeline.Source without costing the other 7 drones a single completed
+// recognition — per-drone attribution straight from pipeline.Stats.Owners.
+func E21FleetPool() (string, error) {
+	const (
+		drones  = 8
+		wedged  = drones - 1 // index of the hung drone
+		burstK  = 8          // frames per burst == camera ring capacity
+		bursts  = 6
+		workers = 8 // shared pool size; private pools get workers/drones each
+	)
+	sceneCfg := scene.Config{Width: 128, Height: 128}
+
+	// One reusable frame set (recognition never mutates frames).
+	ref, err := core.NewSystem(core.WithSceneConfig(sceneCfg))
+	if err != nil {
+		return "", err
+	}
+	signs := body.AllSigns()
+	frames := make([]*raster.Gray, burstK)
+	for i := range frames {
+		v := scene.ReferenceView()
+		v.AzimuthDeg = float64((i * 9) % 45)
+		f, err := ref.Rend.Render(signs[i%len(signs)], v, body.Options{}, nil)
+		if err != nil {
+			return "", err
+		}
+		frames[i] = f
+	}
+
+	type configResult struct {
+		name       string
+		wallMS     float64
+		fps        float64
+		p50MS      float64
+		p99MS      float64
+		wedgedShed uint64
+		healthyOK  int // healthy drones that completed every frame
+		healthyN   uint64
+	}
+
+	// run executes the workload against per-drone camera streams created by
+	// openCam and reports per-owner stats through ownerStats.
+	run := func(name string, openCam func(i int) (*pipeline.Stream, error),
+		ownerStats func(i int) pipeline.OwnerStats) (configResult, error) {
+		res := configResult{name: name}
+
+		// The wedged drone: flood the ring at ~1 kHz, never consume.
+		wst, err := openCam(wedged)
+		if err != nil {
+			return res, err
+		}
+		wsrc, err := pipeline.NewSource(wst, pipeline.SourceConfig{Capacity: burstK})
+		if err != nil {
+			return res, err
+		}
+		var stop atomic.Bool
+		var wedgeDone sync.WaitGroup
+		wedgeDone.Add(1)
+		go func() {
+			defer wedgeDone.Done()
+			for !stop.Load() {
+				if wsrc.Offer(frames[0]) != nil {
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+
+		var mu sync.Mutex
+		var latencies []time.Duration
+		var wg sync.WaitGroup
+		errs := make([]error, drones-1)
+		start := time.Now()
+		for d := 0; d < drones-1; d++ {
+			d := d
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				st, err := openCam(d)
+				if err != nil {
+					errs[d] = err
+					return
+				}
+				src, err := pipeline.NewSource(st, pipeline.SourceConfig{Capacity: burstK})
+				if err != nil {
+					errs[d] = err
+					return
+				}
+				offered := make([]time.Time, bursts*burstK)
+				own := make([]time.Duration, 0, bursts*burstK)
+				results := st.Results()
+				for b := 0; b < bursts; b++ {
+					for k := 0; k < burstK; k++ {
+						offered[b*burstK+k] = time.Now()
+						if err := src.Offer(frames[k]); err != nil {
+							errs[d] = err
+							return
+						}
+					}
+					for k := 0; k < burstK; k++ {
+						r, ok := <-results
+						if !ok {
+							errs[d] = fmt.Errorf("drone %d: stream closed early", d)
+							return
+						}
+						if r.Err != nil {
+							errs[d] = r.Err
+							return
+						}
+						own = append(own, time.Since(offered[r.Seq]))
+					}
+				}
+				src.Close()
+				st.Close()
+				mu.Lock()
+				latencies = append(latencies, own...)
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		res.wallMS = float64(time.Since(start).Microseconds()) / 1000
+		stop.Store(true)
+		wedgeDone.Wait()
+		wsrc.Abandon()
+		wst.Abandon()
+		for _, err := range errs {
+			if err != nil {
+				return res, err
+			}
+		}
+
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		total := len(latencies)
+		res.fps = float64(total) / (res.wallMS / 1000)
+		res.p50MS = float64(latencies[total/2].Microseconds()) / 1000
+		res.p99MS = float64(latencies[total*99/100].Microseconds()) / 1000
+		res.wedgedShed = ownerStats(wedged).IngestDropped
+		for d := 0; d < drones-1; d++ {
+			os := ownerStats(d)
+			res.healthyN += os.Frames
+			if os.Frames >= bursts*burstK && os.IngestDropped == 0 {
+				res.healthyOK++
+			}
+		}
+		return res, nil
+	}
+
+	// runShared executes one repetition against one shared pool with every
+	// system attached.
+	runShared := func() (configResult, error) {
+		pool, err := core.NewSharedPool(
+			core.WithSceneConfig(sceneCfg),
+			core.WithPipelineConfig(pipeline.Config{
+				Workers: workers, QueueDepth: 2 * workers, StreamWindow: burstK,
+			}),
+		)
+		if err != nil {
+			return configResult{}, err
+		}
+		sys := make([]*core.System, drones)
+		for i := range sys {
+			sys[i], err = core.NewSystem(
+				core.WithSceneConfig(sceneCfg),
+				core.WithSharedPipeline(pool),
+				core.WithPoolLabel(fmt.Sprintf("drone-%d", i)),
+			)
+			if err != nil {
+				return configResult{}, err
+			}
+		}
+		defer func() {
+			for _, s := range sys {
+				s.Close()
+			}
+		}()
+		return run("one shared pool",
+			func(i int) (*pipeline.Stream, error) { return sys[i].NewStream() },
+			func(i int) pipeline.OwnerStats { return sys[i].Owner().Stats() },
+		)
+	}
+
+	// runPrivate executes one repetition against 8 private pools of equal
+	// total capacity.
+	runPrivate := func() (configResult, error) {
+		sys := make([]*core.System, drones)
+		var err error
+		for i := range sys {
+			sys[i], err = core.NewSystem(
+				core.WithSceneConfig(sceneCfg),
+				core.WithPipelineConfig(pipeline.Config{
+					Workers: workers / drones, StreamWindow: burstK,
+				}),
+				core.WithPoolLabel(fmt.Sprintf("drone-%d", i)),
+			)
+			if err != nil {
+				return configResult{}, err
+			}
+		}
+		defer func() {
+			for _, s := range sys {
+				s.Close()
+			}
+		}()
+		return run("8 private pools",
+			func(i int) (*pipeline.Stream, error) { return sys[i].NewStream() },
+			func(i int) pipeline.OwnerStats { return sys[i].Owner().Stats() },
+		)
+	}
+
+	// Interleave repetitions of the two configurations (shared, private,
+	// shared, …) and keep each one's median-throughput run, so a host-load
+	// transient skews at most one sample of each rather than a whole
+	// configuration's block.
+	const reps = 3
+	var sharedRuns, privateRuns []configResult
+	for r := 0; r < reps; r++ {
+		res, err := runShared()
+		if err != nil {
+			return "", err
+		}
+		sharedRuns = append(sharedRuns, res)
+		if res, err = runPrivate(); err != nil {
+			return "", err
+		}
+		privateRuns = append(privateRuns, res)
+	}
+	medianOf := func(rs []configResult) configResult {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].fps < rs[j].fps })
+		return rs[len(rs)/2]
+	}
+	shared, private := medianOf(sharedRuns), medianOf(privateRuns)
+
+	tab := telemetry.NewTable("configuration", "healthy frames", "wall ms", "frames/s",
+		"p50 ms", "p99 ms", "wedged sheds", "healthy drones clean")
+	for _, r := range []configResult{shared, private} {
+		tab.AddRow(r.name,
+			fmt.Sprintf("%d", r.healthyN),
+			fmt.Sprintf("%.0f", r.wallMS),
+			fmt.Sprintf("%.0f", r.fps),
+			fmt.Sprintf("%.1f", r.p50MS),
+			fmt.Sprintf("%.1f", r.p99MS),
+			fmt.Sprintf("%d", r.wedgedShed),
+			fmt.Sprintf("%d/%d", r.healthyOK, drones-1),
+		)
+	}
+
+	var sb strings.Builder
+	sb.WriteString("Paper baseline: one drone, one recogniser — the abstract's fleet\n")
+	sb.WriteString("(\"collaboration with a fleet of agricultural drones\") never shares\n")
+	sb.WriteString("perception. Extension: recognition capacity as fleet infrastructure.\n")
+	sb.WriteString(fmt.Sprintf(
+		"8 drone cameras each push %d bursts of %d frames through their own\n", bursts, burstK))
+	sb.WriteString("bounded ring (pipeline.Source); drone-7 is wedged — it floods its ring\n")
+	sb.WriteString("and never reads a result. Same total worker count in both rows\n")
+	sb.WriteString(fmt.Sprintf("(%d shared vs 8×%d private).\n\n", workers, workers/drones))
+	sb.WriteString(tab.Markdown())
+	sb.WriteString(fmt.Sprintf("\nHost: GOMAXPROCS=%d, NumCPU=%d; median-throughput run of %d per row.\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU(), reps))
+	sb.WriteString("Aggregate throughput: the shared pool serves at least the private\n")
+	sb.WriteString("slices' rate — on a single-core host the workload is CPU-bound either\n")
+	sb.WriteString("way, so the rows tie within noise, and with idle cores to borrow a\n")
+	sb.WriteString("bursting drone takes its neighbours' unused workers where a private\n")
+	sb.WriteString("slice caps every burst at its own. The wedge is contained by\n")
+	sb.WriteString("construction in both rows, but only the shared row had anything at\n")
+	sb.WriteString("risk: the wedged drone's backlog sheds at its own ring\n")
+	sb.WriteString("(owner-attributed in pipeline.Stats.Owners and on /statsz), at most a\n")
+	sb.WriteString("stream window of its frames ever occupies the pool, and every healthy\n")
+	sb.WriteString("drone completes 100% of its recognitions. Fleet missions get this\n")
+	sb.WriteString("wiring from mission.NewPooledFleet (hdcsim -drones N defaults to it).\n")
+	return sb.String(), nil
+}

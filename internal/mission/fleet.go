@@ -10,6 +10,7 @@ import (
 	"hdc/internal/core"
 	"hdc/internal/geom"
 	"hdc/internal/orchard"
+	"hdc/internal/pipeline"
 )
 
 // fleet.go extends the mission layer to multiple drones — the collaborative
@@ -18,11 +19,23 @@ import (
 // balanced, and spatially coherent); each drone then runs an ordinary
 // single-drone mission over its share. Drones fly in the same world, so
 // negotiations and human movement interleave in simulation time.
+//
+// Recognition capacity is a fleet-level resource: NewPooledFleet builds one
+// shared worker pool (core.NewSharedPool) and attaches every drone's system
+// to it, so each drone's conversation perception draws on the same workers
+// through its own bounded camera ring — idle capacity flows to whichever
+// drone is negotiating, the per-stream window bounds any one drone's share,
+// and with core.WithPerceptionDeadline a drone that falls behind sheds
+// frames at its own ring instead of starving the rest. NewFleet remains the
+// private-pools-per-drone constructor for callers that want isolation.
 
-// Fleet is a set of systems sharing one orchard.
+// Fleet is a set of systems sharing one orchard — and, when built with
+// NewPooledFleet, one recognition worker pool.
 type Fleet struct {
 	Missions []*Mission
 	World    *orchard.Orchard
+
+	pool *pipeline.Pipeline // nil: each drone owns its pool
 }
 
 // FleetReport aggregates the per-drone reports.
@@ -39,8 +52,10 @@ type FleetReport struct {
 	MeanBatteryUsed float64
 }
 
-// NewFleet builds n missions over one shared world. makeSystem constructs
-// drone i's system (letting callers place homes and seeds).
+// NewFleet builds n missions over one shared world, each drone owning a
+// private recognition pool. makeSystem constructs drone i's system (letting
+// callers place homes and seeds). Fleets whose drones should share one
+// recognition pool are built with NewPooledFleet instead.
 func NewFleet(n int, world *orchard.Orchard, cfg Config,
 	makeSystem func(i int) (*core.System, error)) (*Fleet, error) {
 	if n < 1 {
@@ -53,15 +68,75 @@ func NewFleet(n int, world *orchard.Orchard, cfg Config,
 	for i := 0; i < n; i++ {
 		sys, err := makeSystem(i)
 		if err != nil {
+			f.Close()
 			return nil, fmt.Errorf("mission: drone %d: %w", i, err)
 		}
 		m, err := New(sys, world, cfg)
 		if err != nil {
+			sys.Close()
+			f.Close()
 			return nil, err
 		}
 		f.Missions = append(f.Missions, m)
 	}
 	return f, nil
+}
+
+// NewPooledFleet builds n missions over one shared world AND one shared
+// recognition pool: the pool is assembled from poolOpts (scene, recogniser
+// and pipeline sizing — use the same scene/recogniser options the drones
+// get, or recognition degrades), and drone i's system is constructed from
+// droneOpts(i) plus the shared attachment and a "drone-i" stats label. Every
+// drone's conversation loop then recognises through the fleet pool, its
+// camera fronted by a private ring (see core.WithSharedPipeline). Close the
+// returned fleet to detach all drones and drain the pool.
+func NewPooledFleet(n int, world *orchard.Orchard, cfg Config,
+	poolOpts []core.Option, droneOpts func(i int) []core.Option) (*Fleet, error) {
+	if droneOpts == nil {
+		return nil, errors.New("mission: nil drone options")
+	}
+	pool, err := core.NewSharedPool(poolOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("mission: fleet pool: %w", err)
+	}
+	f, err := NewFleet(n, world, cfg, func(i int) (*core.System, error) {
+		return core.NewSystem(append(droneOpts(i),
+			core.WithSharedPipeline(pool),
+			core.WithPoolLabel(fmt.Sprintf("drone-%d", i)),
+		)...)
+	})
+	if err != nil {
+		// NewFleet closed any systems it built (detaching them); force-close
+		// covers the case where none ever attached.
+		pool.Close()
+		return nil, err
+	}
+	f.pool = pool
+	return f, nil
+}
+
+// Pool returns the fleet-shared recognition pool, or nil for a fleet whose
+// drones own private pools.
+func (f *Fleet) Pool() *pipeline.Pipeline { return f.pool }
+
+// PoolStats snapshots the fleet pool's occupancy with its per-drone
+// attribution (streams, frames recognised, ingest sheds). shared is false —
+// and the snapshot zero — for a private-pools fleet.
+func (f *Fleet) PoolStats() (stats pipeline.Stats, shared bool) {
+	if f.pool == nil {
+		return pipeline.Stats{}, false
+	}
+	return f.pool.Stats(), true
+}
+
+// Close shuts the fleet's systems down. On a pooled fleet each close
+// detaches one drone from the shared pool and the last detach drains it, so
+// after Close the pool is fully stopped. Close is idempotent and safe on a
+// partially constructed fleet.
+func (f *Fleet) Close() {
+	for _, m := range f.Missions {
+		m.Sys.Close()
+	}
 }
 
 // PartitionTraps splits traps into k angular sectors around their centroid,

@@ -1,6 +1,7 @@
 package mission
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"hdc/internal/core"
 	"hdc/internal/geom"
 	"hdc/internal/orchard"
+	"hdc/internal/pipeline"
 )
 
 // TestFleetConcurrentNegotiations runs a 4-drone fleet over a busy world —
@@ -71,6 +73,89 @@ func TestFleetConcurrentNegotiations(t *testing.T) {
 	}
 	if rep.MaxDroneTime <= 0 {
 		t.Fatal("makespan missing")
+	}
+}
+
+// TestPooledFleetConcurrentNegotiations is the shared-pool counterpart of
+// the fleet race test: four drones run their conversation loops concurrently
+// against one recognition pool. Beyond the aggregate-report consistency it
+// asserts the fleet-level accounting — every drone attached, every drone's
+// perception frames attributed to its own owner, and the pool drained by the
+// fleet's Close. Run with -race: the shared pool, the per-drone rings and
+// the orchard lock all interleave here.
+func TestPooledFleetConcurrentNegotiations(t *testing.T) {
+	world, err := orchard.Generate(orchard.Config{
+		Rows: 4, Cols: 6, TrapEvery: 2, Humans: 6,
+	}, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	world.Step(30 * time.Minute)
+
+	const drones = 4
+	fleet, err := NewPooledFleet(drones, world, Config{},
+		[]core.Option{core.WithPipelineConfig(pipeline.Config{Workers: 2})},
+		func(i int) []core.Option {
+			return []core.Option{
+				core.WithSeed(int64(400 + i)),
+				core.WithHome(geom.V3(-4-float64(3*i), -4, 0)),
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if stats, shared := fleet.PoolStats(); !shared || stats.Attached != drones {
+		t.Fatalf("pool before run: shared=%v %+v", shared, stats)
+	}
+
+	rep, err := fleet.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerDrone) != drones {
+		t.Fatalf("per-drone reports: %d, want %d", len(rep.PerDrone), drones)
+	}
+	var read, neg int
+	for _, r := range rep.PerDrone {
+		read += r.TrapsRead
+		neg += r.Negotiations
+	}
+	if read != rep.TrapsRead || neg != rep.Negotiations {
+		t.Fatalf("aggregate drifted from per-drone sums: %+v", rep)
+	}
+	if rep.TrapsRead == 0 || rep.Negotiations == 0 {
+		t.Fatalf("mission did not exercise the pool: %+v", rep)
+	}
+
+	// Per-drone attribution: every negotiating drone perceived through the
+	// shared pool via its own ring, and nothing was charged to anyone else.
+	stats, _ := fleet.PoolStats()
+	if len(stats.Owners) != drones {
+		t.Fatalf("owners: %+v", stats.Owners)
+	}
+	var ownerFrames uint64
+	for i, o := range stats.Owners {
+		if want := fmt.Sprintf("drone-%d", i); o.Label != want {
+			t.Fatalf("owner %d label %q, want %q", i, o.Label, want)
+		}
+		if rep.PerDrone[i].Negotiations > 0 && o.Frames == 0 {
+			t.Fatalf("drone %d negotiated %d times but recognised 0 frames on the pool",
+				i, rep.PerDrone[i].Negotiations)
+		}
+		if o.IngestAccepted < o.Frames {
+			t.Fatalf("drone %d: %d frames but only %d ring accepts — perception bypassed its ring",
+				i, o.Frames, o.IngestAccepted)
+		}
+		ownerFrames += o.Frames
+	}
+	if ownerFrames == 0 {
+		t.Fatal("no perception traffic attributed to any drone")
+	}
+
+	fleet.Close()
+	if stats, _ := fleet.PoolStats(); !stats.Closed || stats.Attached != 0 {
+		t.Fatalf("pool after fleet close: %+v", stats)
 	}
 }
 

@@ -1,0 +1,346 @@
+package pipeline
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hdc/internal/raster"
+	"hdc/internal/recognizer"
+)
+
+// owner_test.go covers the reference-counted lifecycle (owner.go): attach/
+// detach semantics, the attach-after-last-detach contract, per-owner stats
+// attribution and the Close-vs-late-attach races. Run with -race; half the
+// value of these tests is the detector's silence.
+
+// TestOwnerLastDetachClosesPool pins the core refcount contract: the pool
+// survives any proper subset of owners detaching and drains when the last
+// one closes, after which both Attach and direct NewStream fail ErrClosed.
+func TestOwnerLastDetachClosesPool(t *testing.T) {
+	rec, rend := newRecognizer(t)
+	p, err := New(rec, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, _ := renderSigns(t, rend, 4)
+
+	owners := make([]*Owner, 3)
+	for i := range owners {
+		if owners[i], err = p.Attach(""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := p.Stats(); s.Attached != 3 || len(s.Owners) != 3 {
+		t.Fatalf("attached=%d owners=%d, want 3/3", s.Attached, len(s.Owners))
+	}
+
+	// Work through an owner, then detach all but the last.
+	if _, errs, err := owners[0].RecognizeBatch(frames); err != nil {
+		t.Fatal(err)
+	} else {
+		for _, e := range errs {
+			if e != nil {
+				t.Fatal(e)
+			}
+		}
+	}
+	owners[0].Close()
+	owners[0].Close() // idempotent
+	owners[1].Close()
+	if s := p.Stats(); s.Closed || s.Attached != 1 {
+		t.Fatalf("pool closed early or miscounted: %+v", s)
+	}
+	// The surviving owner still streams.
+	st, err := owners[2].NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	for range st.Results() {
+	}
+
+	owners[2].Close()
+	if s := p.Stats(); !s.Closed {
+		t.Fatal("last detach did not close the pool")
+	}
+	if _, err := p.Attach("late"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("attach after last detach: %v, want ErrClosed", err)
+	}
+	if _, err := p.NewStream(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("stream after last detach: %v, want ErrClosed", err)
+	}
+}
+
+// TestOwnerStreamAfterDetach pins that a detached owner's handle is dead even
+// while other owners keep the pool alive.
+func TestOwnerStreamAfterDetach(t *testing.T) {
+	rec, _ := newRecognizer(t)
+	p, err := New(rec, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	a, err := p.Attach("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Attach("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if _, err := a.NewStream(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("stream on detached owner: %v, want ErrClosed", err)
+	}
+	if _, err := a.NewProcStream(func(sc *recognizer.Scratch, seq uint64, f *raster.Gray) (recognizer.Result, error) {
+		return recognizer.Result{}, nil
+	}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("proc stream on detached owner: %v, want ErrClosed", err)
+	}
+	if _, _, err := a.RecognizeBatch(nil); err != nil {
+		// Empty batch never touches the pool; non-empty must fail.
+		t.Fatalf("empty batch: %v", err)
+	}
+	// The pool itself is still healthy for owner b.
+	st, err := b.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	for range st.Results() {
+	}
+}
+
+// TestForceCloseWithOwnersAttached pins that Pipeline.Close (the process
+// shutdown path) overrides the reference count: attached owners' streams get
+// clean ErrCloseds and their later detaches are harmless no-ops.
+func TestForceCloseWithOwnersAttached(t *testing.T) {
+	rec, _ := newRecognizer(t)
+	p, err := New(rec, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := p.Attach("drone-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if _, err := o.NewStream(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("stream on force-closed pool: %v, want ErrClosed", err)
+	}
+	o.Close() // must not panic or double-close the queue
+	if _, err := p.Attach("x"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("attach on force-closed pool: %v, want ErrClosed", err)
+	}
+}
+
+// TestOwnerStatsAttribution drives unequal traffic through three owners —
+// streams, batches and a shedding Source each — and asserts the per-owner
+// counters attribute it correctly and sum to the pool aggregates.
+func TestOwnerStatsAttribution(t *testing.T) {
+	rec, rend := newRecognizer(t)
+	p, err := New(rec, Config{Workers: 2, QueueDepth: 2, StreamWindow: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	frames, _ := renderSigns(t, rend, 6)
+
+	a, err := p.Attach("drone-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Attach("drone-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Owner a: one batch of 6.
+	if _, _, err := a.RecognizeBatch(frames); err != nil {
+		t.Fatal(err)
+	}
+	// Owner b: a Source-fed stream offered 6 frames with a consumer, so all
+	// survive, then a capacity-1 ring flooded without a consumer to force
+	// sheds.
+	st, err := b.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int)
+	go func() {
+		n := 0
+		for range st.Results() {
+			n++
+		}
+		done <- n
+	}()
+	src, err := NewSource(st, SourceConfig{Capacity: len(frames)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if err := src.Offer(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Close()
+	st.Close()
+	if n := <-done; n != len(frames) {
+		t.Fatalf("owner b delivered %d frames, want %d", n, len(frames))
+	}
+
+	as, bs := a.Stats(), b.Stats()
+	if as.Label != "drone-a" || bs.Label != "drone-b" {
+		t.Fatalf("labels: %q %q", as.Label, bs.Label)
+	}
+	if as.Frames != 6 || as.StreamsTotal != 1 || as.Streams != 0 {
+		t.Fatalf("owner a stats: %+v", as)
+	}
+	if as.IngestAccepted != 0 || as.IngestDropped != 0 {
+		t.Fatalf("owner a charged for b's ingest: %+v", as)
+	}
+	if bs.Frames != 6 || bs.IngestAccepted != 6 || bs.IngestDropped != 0 {
+		t.Fatalf("owner b stats: %+v", bs)
+	}
+
+	ps := p.Stats()
+	if got := as.Frames + bs.Frames; got != 12 {
+		t.Fatalf("owner frames sum %d, want 12", got)
+	}
+	if ps.IngestAccepted != as.IngestAccepted+bs.IngestAccepted ||
+		ps.IngestDropped != as.IngestDropped+bs.IngestDropped {
+		t.Fatalf("pool ingest aggregates drifted from owner sums: %+v vs %+v %+v", ps, as, bs)
+	}
+	if len(ps.Owners) != 2 || ps.Owners[0].Label != "drone-a" || ps.Owners[1].Label != "drone-b" {
+		t.Fatalf("Stats.Owners: %+v", ps.Owners)
+	}
+}
+
+// TestOwnerShedAttribution wedges one owner's Source (no consumer, tiny ring,
+// flood of offers) while another owner works normally, and asserts the sheds
+// land on the wedged owner only — the fleet-isolation signal E21 reports.
+func TestOwnerShedAttribution(t *testing.T) {
+	rec, rend := newRecognizer(t)
+	p, err := New(rec, Config{Workers: 1, QueueDepth: 1, StreamWindow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, _ := renderSigns(t, rend, 2)
+
+	healthy, err := p.Attach("healthy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wedged, err := p.Attach("wedged")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wedged: never reads results; its window fills, then its ring sheds.
+	wst, err := wedged.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsrc, err := NewSource(wst, SourceConfig{Capacity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const offers = 64
+	for i := 0; i < offers; i++ {
+		if err := wsrc.Offer(frames[i%len(frames)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Healthy keeps recognising, one frame at a time, while the wedge stands.
+	for i := 0; i < 4; i++ {
+		if _, _, err := healthy.RecognizeBatch(frames[:1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ws, hs := wedged.Stats(), healthy.Stats()
+	if ws.IngestDropped == 0 {
+		t.Fatalf("wedged owner shed nothing after %d offers into a 1-slot ring: %+v", offers, ws)
+	}
+	if ws.IngestDropped > ws.IngestAccepted {
+		t.Fatalf("dropped %d > accepted %d", ws.IngestDropped, ws.IngestAccepted)
+	}
+	if hs.IngestDropped != 0 || hs.Frames != 4 {
+		t.Fatalf("healthy owner affected by the wedge: %+v", hs)
+	}
+
+	// Unwedge and tear down: abandon the ring and the stream, then detach.
+	wsrc.Abandon()
+	wst.Abandon()
+	wedged.Close()
+	healthy.Close()
+	if s := p.Stats(); !s.Closed {
+		t.Fatal("pool still open after both owners detached")
+	}
+}
+
+// TestOwnerAttachDetachHammer races Attaches, detaches, stream traffic and
+// one force-Close across many goroutines: whatever interleaving the
+// scheduler picks, every operation must resolve to success or a clean
+// ErrClosed, and the pool must end closed with no goroutine stuck.
+func TestOwnerAttachDetachHammer(t *testing.T) {
+	rec, rend := newRecognizer(t)
+	p, err := New(rec, Config{Workers: 2, QueueDepth: 2, StreamWindow: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, _ := renderSigns(t, rend, 2)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers*4)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 20; i++ {
+				o, err := p.Attach("")
+				if err != nil {
+					if !errors.Is(err, ErrClosed) {
+						errCh <- err
+					}
+					return
+				}
+				if rng.Intn(2) == 0 {
+					if _, errs, err := o.RecognizeBatch(frames); err != nil {
+						if !errors.Is(err, ErrClosed) {
+							errCh <- err
+						}
+					} else {
+						for _, e := range errs {
+							if e != nil && !errors.Is(e, ErrClosed) {
+								errCh <- e
+							}
+						}
+					}
+				}
+				o.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	// Drop the hammer mid-life too: by now every goroutine detached, so the
+	// pool may already be closed by the last detach; force-close must still
+	// be safe.
+	p.Close()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if s := p.Stats(); !s.Closed || s.Attached != 0 {
+		t.Fatalf("end state: %+v", s)
+	}
+	if _, err := p.Attach("post"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("attach after hammer: %v", err)
+	}
+}

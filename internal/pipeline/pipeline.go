@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -57,6 +58,8 @@ var (
 	ErrClosed       = errors.New("pipeline: closed")
 	ErrStreamClosed = errors.New("pipeline: stream closed")
 	ErrNilFrame     = errors.New("pipeline: nil frame")
+
+	errNilProc = errors.New("pipeline: nil proc")
 )
 
 // job is one frame travelling through the pool.
@@ -67,8 +70,10 @@ type job struct {
 }
 
 // Pipeline is the worker pool. Construct with New, create one Stream per
-// frame source, and Close when done. All methods are safe for concurrent
-// use.
+// frame source, and Close when done — or share it across several systems by
+// handing each an Attach'd Owner, in which case the last Owner.Close drains
+// the pool instead (see owner.go for the reference-counting contract). All
+// methods are safe for concurrent use.
 type Pipeline struct {
 	cfg Config
 	rec *recognizer.Recognizer
@@ -80,9 +85,15 @@ type Pipeline struct {
 	ingestAccepted atomic.Uint64
 	ingestDropped  atomic.Uint64
 
-	mu      sync.RWMutex // guards closed + streams; RLock spans queue sends
+	mu      sync.RWMutex // guards closed + streams + owners; RLock spans queue sends
 	closed  bool
 	streams map[*Stream]struct{}
+
+	// Reference-counting state (owner.go). Once everAttached is set, the
+	// owners map is the pool's reference count: emptying it closes the pool.
+	owners       map[*Owner]struct{}
+	everAttached bool
+	ownerSeq     int // labels anonymous owners
 }
 
 // New builds a pipeline over rec, whose reference database must already be
@@ -98,6 +109,7 @@ func New(rec *recognizer.Recognizer, cfg Config) (*Pipeline, error) {
 		rec:     rec,
 		in:      make(chan job, cfg.QueueDepth),
 		streams: make(map[*Stream]struct{}),
+		owners:  make(map[*Owner]struct{}),
 	}
 	p.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -125,13 +137,19 @@ type Stats struct {
 	// layer working as designed: capture cadence held, excess frames shed.
 	IngestAccepted uint64
 	IngestDropped  uint64
+	// Attached is the pool's current reference count — the number of owners
+	// (systems) sharing it via Attach; zero for a pool used directly.
+	Attached int
+	// Owners attributes the pool's traffic per attachment, sorted by label
+	// (ties broken by attach order). Detached owners no longer appear; their
+	// traffic remains in the pool-wide aggregates above.
+	Owners []OwnerStats
 }
 
 // Stats returns the current occupancy snapshot. Safe for concurrent use.
 func (p *Pipeline) Stats() Stats {
 	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return Stats{
+	s := Stats{
 		Workers:        p.cfg.Workers,
 		QueueLen:       len(p.in),
 		QueueCap:       cap(p.in),
@@ -140,7 +158,24 @@ func (p *Pipeline) Stats() Stats {
 		Closed:         p.closed,
 		IngestAccepted: p.ingestAccepted.Load(),
 		IngestDropped:  p.ingestDropped.Load(),
+		Attached:       len(p.owners),
 	}
+	owners := make([]*Owner, 0, len(p.owners))
+	for o := range p.owners {
+		owners = append(owners, o)
+	}
+	p.mu.RUnlock()
+
+	sort.Slice(owners, func(i, j int) bool {
+		if owners[i].label != owners[j].label {
+			return owners[i].label < owners[j].label
+		}
+		return owners[i].seq < owners[j].seq
+	})
+	for _, o := range owners {
+		s.Owners = append(s.Owners, o.Stats())
+	}
+	return s
 }
 
 // worker is one recognition lane: it owns its scratch state for the life of
@@ -193,43 +228,75 @@ type Proc func(sc *recognizer.Scratch, seq uint64, frame *raster.Gray) (recogniz
 // the same ordered delivery and back-pressure.
 func (p *Pipeline) NewProcStream(proc Proc) (*Stream, error) {
 	if proc == nil {
-		return nil, errors.New("pipeline: nil proc")
+		return nil, errNilProc
 	}
 	return p.register(proc)
 }
 
-// register creates and tracks a stream.
-func (p *Pipeline) register(proc Proc) (*Stream, error) {
+// register creates and tracks a stream with no owner attribution.
+func (p *Pipeline) register(proc Proc) (*Stream, error) { return p.registerOwned(proc, nil) }
+
+// registerOwned creates and tracks a stream, attributing it to owner when
+// non-nil. The closed check, the owner's detached check and the stream's
+// registration share one critical section with Close and the last detach, so
+// a stream either registers on a live pool or fails with ErrClosed — a late
+// NewStream can never race a concurrent shutdown into a half-registered
+// stream or a leaked delivery goroutine.
+func (p *Pipeline) registerOwned(proc Proc, owner *Owner) (*Stream, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed || (owner != nil && owner.detached) {
 		return nil, ErrClosed
 	}
 	st := newStream(p)
 	st.proc = proc
+	st.owner = owner
 	p.streams[st] = struct{}{}
+	if owner != nil {
+		owner.streams.Add(1)
+		owner.streamsTotal.Add(1)
+	}
 	go st.emit()
 	return st, nil
+}
+
+// beginCloseLocked flips the pipeline into its closed state and returns the
+// streams that still need closing, or nil if it was already closed. Owners
+// still attached are force-detached so a closed pool never reports live
+// tenants (their Close calls become no-ops). The caller must hold p.mu
+// (write) and, on a non-nil return, close the returned streams and wait on
+// p.wg after releasing it.
+func (p *Pipeline) beginCloseLocked() []*Stream {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	close(p.in)
+	for o := range p.owners {
+		o.detached = true
+		delete(p.owners, o)
+	}
+	open := make([]*Stream, 0, len(p.streams))
+	for st := range p.streams {
+		open = append(open, st)
+	}
+	return open
 }
 
 // Close shuts the pipeline down: further Submits fail with ErrClosed,
 // already-queued frames are recognised, every stream's Results channel is
 // closed after its in-flight frames drain, and the workers exit. Close
-// blocks until the workers have stopped and is idempotent.
+// blocks until the workers have stopped and is idempotent. On a shared
+// (Attach'd) pool, Close is the force-close escape hatch — process shutdown
+// — that overrides the reference count; the cooperative path is each owner
+// closing its own handle.
 func (p *Pipeline) Close() {
 	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	open := p.beginCloseLocked()
+	p.mu.Unlock()
+	if open == nil {
 		return
 	}
-	p.closed = true
-	close(p.in)
-	open := make([]*Stream, 0, len(p.streams))
-	for st := range p.streams {
-		open = append(open, st)
-	}
-	p.mu.Unlock()
-
 	for _, st := range open {
 		st.Close()
 	}
@@ -242,6 +309,14 @@ func (p *Pipeline) Close() {
 // synchronous convenience over a private stream; concurrent batches simply
 // share the pool.
 func (p *Pipeline) RecognizeBatch(frames []*raster.Gray) ([]recognizer.Result, []error, error) {
+	return recognizeBatch(p.NewStream, frames)
+}
+
+// recognizeBatch runs the ordered-batch convenience over a stream from
+// newStream — the one implementation behind Pipeline.RecognizeBatch and
+// Owner.RecognizeBatch, so owner-attributed batches cannot drift from the
+// direct path.
+func recognizeBatch(newStream func() (*Stream, error), frames []*raster.Gray) ([]recognizer.Result, []error, error) {
 	// Validate up front: a nil frame mid-batch would otherwise break the
 	// index↔sequence correspondence and surface as a misleading ErrClosed.
 	for _, f := range frames {
@@ -254,7 +329,7 @@ func (p *Pipeline) RecognizeBatch(frames []*raster.Gray) ([]recognizer.Result, [
 	if len(frames) == 0 {
 		return results, errs, nil
 	}
-	st, err := p.NewStream()
+	st, err := newStream()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -297,8 +372,9 @@ type StreamResult struct {
 // concurrent use, though a stream's ordering is only meaningful to whoever
 // chose the submission order.
 type Stream struct {
-	p    *Pipeline
-	proc Proc // nil: the default sign-recognition stage
+	p     *Pipeline
+	proc  Proc   // nil: the default sign-recognition stage
+	owner *Owner // nil: opened directly on the Pipeline, unattributed
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -422,6 +498,9 @@ func (s *Stream) Abandon() {
 // complete records one finished frame; called by workers and by Submit on
 // enqueue failure.
 func (s *Stream) complete(seq uint64, frame *raster.Gray, res recognizer.Result, err error) {
+	if s.owner != nil {
+		s.owner.frames.Add(1)
+	}
 	s.mu.Lock()
 	s.pending[seq] = StreamResult{Seq: seq, Frame: frame, Res: res, Err: err}
 	s.cond.Broadcast()
@@ -466,6 +545,9 @@ func (s *Stream) forget() {
 	s.p.mu.Lock()
 	delete(s.p.streams, s)
 	s.p.mu.Unlock()
+	if s.owner != nil {
+		s.owner.streams.Add(-1)
+	}
 }
 
 // String implements fmt.Stringer for diagnostics.

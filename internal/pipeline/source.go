@@ -103,6 +103,9 @@ func (s *Source) Offer(f *raster.Gray) error {
 	// dropped ≤ accepted invariant must hold at every observable instant.
 	s.accepted.Add(1)
 	s.st.p.ingestAccepted.Add(1)
+	if o := s.st.owner; o != nil {
+		o.ingestAccepted.Add(1)
+	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 
@@ -112,10 +115,15 @@ func (s *Source) Offer(f *raster.Gray) error {
 	return nil
 }
 
-// drop counts one dropped frame and recycles it.
+// drop counts one dropped frame — against the source, the pipeline and the
+// stream's owner, so a fleet's sheds are attributed to the drone that shed
+// them — and recycles it.
 func (s *Source) drop(f *raster.Gray) {
 	s.dropped.Add(1)
 	s.st.p.ingestDropped.Add(1)
+	if o := s.st.owner; o != nil {
+		o.ingestDropped.Add(1)
+	}
 	if s.cfg.OnDrop != nil {
 		s.cfg.OnDrop(f)
 	}

@@ -50,6 +50,8 @@ type APIError struct {
 	Msg    string
 }
 
+// Error renders the status and the server's message; APIError satisfies the
+// error interface so callers can errors.As for the HTTP status.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("server: %d: %s", e.Status, e.Msg)
 }

@@ -404,6 +404,8 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			Streams:        pool.Streams,
 			IngestAccepted: pool.IngestAccepted,
 			IngestDropped:  pool.IngestDropped,
+			Attached:       pool.Attached,
+			Owners:         ownerSnapshots(pool.Owners),
 		},
 		FramePool: FramePoolSnapshot{Gets: gets, Puts: puts},
 		Sessions:  s.sessions.snapshot(),

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"hdc/internal/pipeline"
 )
 
 // stats.go instruments the service: every endpoint keeps lock-free counters
@@ -139,6 +141,23 @@ type PoolSnapshot struct {
 	// layer shedding frames instead of stalling capture.
 	IngestAccepted uint64 `json:"ingest_accepted"`
 	IngestDropped  uint64 `json:"ingest_dropped"`
+	// Attached counts the systems sharing this pool (pipeline.Attach);
+	// Owners breaks the pool's traffic down per attached system. A server
+	// fronting a private system reports one owner; a server whose System
+	// joined a fleet pool reports every tenant, which is how an operator
+	// sees one wedged drone shedding at its own ring.
+	Attached int             `json:"attached,omitempty"`
+	Owners   []OwnerSnapshot `json:"owners,omitempty"`
+}
+
+// OwnerSnapshot is one attached system's share of the pool on the wire.
+type OwnerSnapshot struct {
+	Label          string `json:"label"`
+	Streams        int    `json:"streams"`
+	StreamsTotal   uint64 `json:"streams_total"`
+	Frames         uint64 `json:"frames"`
+	IngestAccepted uint64 `json:"ingest_accepted"`
+	IngestDropped  uint64 `json:"ingest_dropped"`
 }
 
 // FramePoolSnapshot reports the server's frame-buffer checkout counters;
@@ -175,6 +194,25 @@ type StatsResponse struct {
 	Sessions  SessionSnapshot             `json:"sessions"`
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 	Mem       MemSnapshot                 `json:"mem"`
+}
+
+// ownerSnapshots converts the pool's per-owner stats to their wire form.
+func ownerSnapshots(owners []pipeline.OwnerStats) []OwnerSnapshot {
+	if len(owners) == 0 {
+		return nil
+	}
+	out := make([]OwnerSnapshot, len(owners))
+	for i, o := range owners {
+		out[i] = OwnerSnapshot{
+			Label:          o.Label,
+			Streams:        o.Streams,
+			StreamsTotal:   o.StreamsTotal,
+			Frames:         o.Frames,
+			IngestAccepted: o.IngestAccepted,
+			IngestDropped:  o.IngestDropped,
+		}
+	}
+	return out
 }
 
 // memSnapshot reads the runtime counters.
