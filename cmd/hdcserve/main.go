@@ -4,6 +4,7 @@
 //
 //	hdcserve -addr :8080 -workers 8                 # serve
 //	hdcserve -dict refs.json                        # serve a shipped dictionary
+//	hdcserve -store signs.store                     # serve a mapped on-disk store (seeded if absent)
 //	hdcserve -gesture=false                         # static signs only
 //	hdcserve -gesture-buffer 96                     # deeper live-feed ingest ring
 //	hdcserve -loadgen -operators 16 -duration 5s    # measured E19 experiment
@@ -21,6 +22,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -29,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -36,6 +39,7 @@ import (
 	"hdc/internal/gesture"
 	"hdc/internal/pipeline"
 	"hdc/internal/recognizer"
+	"hdc/internal/sax/store"
 	"hdc/internal/scene"
 	"hdc/internal/server"
 )
@@ -56,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		queue    = fs.Int("queue", 0, "shared frame queue depth (0 = 2×workers)")
 		window   = fs.Int("window", 0, "per-stream in-flight frame bound (0 = 2×workers)")
 		dict     = fs.String("dict", "", "load a reference dictionary file (default: render the built-in references)")
+		storeDir = fs.String("store", "", "serve from a segmented on-disk store directory (created and seeded with the built-in references if absent; see signdb -convert)")
 		idle     = fs.Duration("idle-timeout", 2*time.Minute, "reap stream sessions idle this long")
 		maxBatch = fs.Int("max-batch", 256, "largest accepted batch / stream-frames request")
 		gest     = fs.Bool("gesture", true, "serve the dynamic-gesture endpoints (/v1/gesture + live ring-buffer sessions)")
@@ -94,21 +99,27 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		return 0
 	}
 
-	sys, srv, err := buildService(*workers, *queue, *window, *dict, *idle, *maxBatch, *gest, *gestBuf)
+	if *dict != "" && *storeDir != "" {
+		fmt.Fprintln(stderr, "hdcserve: -dict and -store are mutually exclusive")
+		return 2
+	}
+	sys, srv, st, err := buildService(*workers, *queue, *window, *dict, *storeDir, *idle, *maxBatch, *gest, *gestBuf)
 	if err != nil {
 		fmt.Fprintln(stderr, "hdcserve:", err)
 		return 1
 	}
-	if err := serve(*addr, sys, srv, stdout, ready); err != nil {
+	if err := serve(*addr, sys, srv, st, stdout, ready); err != nil {
 		fmt.Fprintln(stderr, "hdcserve:", err)
 		return 1
 	}
 	return 0
 }
 
-// buildService assembles the system and the HTTP service over it.
-func buildService(workers, queue, window int, dict string, idle time.Duration,
-	maxBatch int, gest bool, gestBuf int) (*core.System, *server.Server, error) {
+// buildService assembles the system and the HTTP service over it. The
+// returned store is non-nil only in -store mode; the caller closes it after
+// the system drains.
+func buildService(workers, queue, window int, dict, storeDir string, idle time.Duration,
+	maxBatch int, gest bool, gestBuf int) (*core.System, *server.Server, *store.Store, error) {
 	sys, err := core.NewSystem(
 		core.WithSceneConfig(scene.Config{}),
 		core.WithPipelineConfig(pipeline.Config{
@@ -117,27 +128,68 @@ func buildService(workers, queue, window int, dict string, idle time.Duration,
 		core.WithPoolLabel("hdcserve"),
 	)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if dict != "" {
 		if err := loadDictionary(sys.Rec, dict); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
+		}
+	}
+	var st *store.Store
+	if storeDir != "" {
+		st, err = openStore(sys.Rec, storeDir)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := sys.Rec.UseDictionary(st); err != nil {
+			st.Close()
+			return nil, nil, nil, fmt.Errorf("store %s: %w", storeDir, err)
 		}
 	}
 	opts := server.Options{
 		MaxBatch:          maxBatch,
 		StreamIdleTimeout: idle,
 		GestureBuffer:     gestBuf,
+		Store:             st,
 	}
 	if gest {
 		rec, err := gesture.NewRecognizer(gesture.Config{}, sys.Rend, scene.ReferenceView())
 		if err != nil {
-			return nil, nil, fmt.Errorf("gesture templates: %w", err)
+			if st != nil {
+				st.Close()
+			}
+			return nil, nil, nil, fmt.Errorf("gesture templates: %w", err)
 		}
 		opts.Gesture = rec
 	}
 	srv := server.New(sys, opts)
-	return sys, srv, nil
+	return sys, srv, st, nil
+}
+
+// openStore opens (or, for a fresh directory, creates and seeds) the on-disk
+// dictionary. Seeding converts the system's freshly rendered references via
+// the same streaming path `signdb -convert` uses, so a first `-store` run
+// serves exactly what the default in-memory mode would.
+func openStore(rec *recognizer.Recognizer, dir string) (*store.Store, error) {
+	if _, err := os.Stat(filepath.Join(dir, "MANIFEST.json")); err == nil {
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("store %s: %w", dir, err)
+		}
+		return st, nil
+	}
+	var buf bytes.Buffer
+	if err := rec.SaveReferences(&buf); err != nil {
+		return nil, fmt.Errorf("store %s: seed: %w", dir, err)
+	}
+	if _, err := store.ConvertV1(&buf, dir, store.BuilderOptions{}); err != nil {
+		return nil, fmt.Errorf("store %s: seed: %w", dir, err)
+	}
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("store %s: %w", dir, err)
+	}
+	return st, nil
 }
 
 // loadDictionary replaces the rendered references with a shipped database.
@@ -154,8 +206,9 @@ func loadDictionary(rec *recognizer.Recognizer, path string) error {
 }
 
 // serve listens until SIGINT/SIGTERM, then drains: healthz 503 → in-flight
-// requests finish (http.Server.Shutdown) → sessions end → pool stops.
-func serve(addr string, sys *core.System, srv *server.Server, stdout io.Writer, ready chan<- string) error {
+// requests finish (http.Server.Shutdown) → sessions end → pool stops → the
+// store (if any) seals its tail and closes.
+func serve(addr string, sys *core.System, srv *server.Server, st *store.Store, stdout io.Writer, ready chan<- string) error {
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
 	ln, err := newListener(addr)
 	if err != nil {
@@ -185,6 +238,11 @@ func serve(addr string, sys *core.System, srv *server.Server, stdout io.Writer, 
 	}
 	srv.Close()
 	sys.Close()
+	if st != nil {
+		if err := st.Close(); err != nil {
+			fmt.Fprintln(stdout, "hdcserve: store close:", err)
+		}
+	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http"
 	"os"
 	"strings"
@@ -96,5 +97,68 @@ func TestUsageAndValidation(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "hdcserve:") {
 		t.Fatalf("stderr: %q", errOut.String())
+	}
+}
+
+// TestServeStoreMode boots -store twice against one directory: the first run
+// creates and seeds it with the rendered references, the second opens the
+// sealed store. Both must serve, report the store on /statsz, and drain.
+func TestServeStoreMode(t *testing.T) {
+	dir := t.TempDir() + "/signs.store"
+	var entries int
+	for pass, name := range []string{"create+seed", "reopen"} {
+		var out, errOut bytes.Buffer
+		ready := make(chan string, 1)
+		done := make(chan int, 1)
+		go func() {
+			done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1", "-store", dir}, &out, &errOut, ready)
+		}()
+		var addr string
+		select {
+		case addr = <-ready:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%s: server never became ready: %s", name, errOut.String())
+		}
+
+		resp, err := http.Get("http://" + addr + "/statsz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats struct {
+			Store *struct {
+				Entries int `json:"entries"`
+			} `json:"store"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&stats)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Store == nil || stats.Store.Entries == 0 {
+			t.Fatalf("%s: statsz store snapshot missing or empty: %+v", name, stats.Store)
+		}
+		if pass == 0 {
+			entries = stats.Store.Entries
+		} else if stats.Store.Entries != entries {
+			t.Fatalf("reopen entries %d, want %d", stats.Store.Entries, entries)
+		}
+
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Fatalf("%s: exit %d: %s", name, code, errOut.String())
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%s: drain never completed", name)
+		}
+	}
+
+	// -dict and -store together are a usage error.
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dict", "x.json", "-store", dir}, &out, &errOut, nil); code != 2 {
+		t.Fatalf("-dict+-store exit %d, want 2", code)
 	}
 }

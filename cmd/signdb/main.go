@@ -1,9 +1,16 @@
 // Command signdb builds, inspects and verifies the sign reference database
-// — the "database of strings" of §IV as a deployable artefact:
+// — the "database of strings" of §IV as a deployable artefact. It handles
+// both forms of the artefact: the version-1 JSON file and the segmented
+// on-disk store directory (internal/sax/store). -inspect and -verify accept
+// either and dispatch on what they find.
 //
-//	go run ./cmd/signdb -build refs.json        # render + save references
-//	go run ./cmd/signdb -inspect refs.json      # list entries and words
-//	go run ./cmd/signdb -verify refs.json       # load and self-classify
+//	go run ./cmd/signdb -build refs.json             # render + save references
+//	go run ./cmd/signdb -inspect refs.json           # list entries and words
+//	go run ./cmd/signdb -verify refs.json            # load and self-classify
+//	go run ./cmd/signdb -convert refs.json -o s.dir  # JSON → mmap store directory
+//	go run ./cmd/signdb -inspect s.dir               # segments, WAL, prune index
+//	go run ./cmd/signdb -stats s.dir                 # machine-readable store stats
+//	go run ./cmd/signdb -compact s.dir -full         # fold WAL + merge segments
 package main
 
 import (
@@ -27,8 +34,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("signdb", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	build := fs.String("build", "", "render references and save to this file")
-	inspect := fs.String("inspect", "", "print the entries of a saved database")
-	verify := fs.String("verify", "", "load a database and self-classify all signs")
+	inspect := fs.String("inspect", "", "print the entries of a saved database (file or store directory)")
+	verify := fs.String("verify", "", "load a database (file or store directory) and self-classify all signs")
+	convert := fs.String("convert", "", "convert a saved v1 JSON database to a store directory (requires -o)")
+	out := fs.String("o", "", "output store directory for -convert")
+	compact := fs.String("compact", "", "fold a store directory's WAL into sealed segments")
+	full := fs.Bool("full", false, "with -compact: also merge all sealed segments into one")
+	stats := fs.String("stats", "", "print a store directory's stats as JSON")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -37,10 +49,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch {
 	case *build != "":
 		err = runBuild(*build, stdout)
+	case *convert != "":
+		if *out == "" {
+			fmt.Fprintln(stderr, "signdb: -convert requires -o <dir>")
+			return 2
+		}
+		err = runConvert(*convert, *out, stdout)
+	case *compact != "":
+		err = runCompact(*compact, *full, stdout)
+	case *stats != "":
+		err = runStats(*stats, stdout)
 	case *inspect != "":
-		err = runInspect(*inspect, stdout)
+		if isStoreDir(*inspect) {
+			err = runInspectStore(*inspect, stdout)
+		} else {
+			err = runInspect(*inspect, stdout)
+		}
 	case *verify != "":
-		err = runVerify(*verify, stdout)
+		if isStoreDir(*verify) {
+			err = runVerifyStore(*verify, stdout)
+		} else {
+			err = runVerify(*verify, stdout)
+		}
 	default:
 		fs.Usage()
 		return 2
@@ -99,6 +129,12 @@ func runVerify(path string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return selfClassify(rec, stdout)
+}
+
+// selfClassify renders every sign at the reference view and checks it
+// classifies as itself through rec's active dictionary.
+func selfClassify(rec *recognizer.Recognizer, stdout io.Writer) error {
 	rend := scene.NewRenderer(scene.Config{})
 	ok := true
 	for _, s := range body.AllSigns() {

@@ -74,3 +74,68 @@ func TestErrorExits(t *testing.T) {
 		t.Fatalf("corrupt file exit %d, want 1", code)
 	}
 }
+
+// TestStoreLifecycle drives the store-directory surface end to end: build a
+// JSON dictionary, convert it, inspect/stats/verify the directory, and
+// compact it (a no-op fold that must still succeed and report).
+func TestStoreLifecycle(t *testing.T) {
+	tmp := t.TempDir()
+	path := filepath.Join(tmp, "refs.json")
+	dir := filepath.Join(tmp, "signs.store")
+	var out, errOut bytes.Buffer
+
+	if code := run([]string{"-build", path}, &out, &errOut); code != 0 {
+		t.Fatalf("build exit %d: %s", code, errOut.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-convert", path, "-o", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("convert exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "converted 9 entries") {
+		t.Fatalf("convert output: %q", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-inspect", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("store inspect exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"store: 9 entries", "integrity ok", "seg-000001.seg", "prune index: 100.0%", "wal: 0 entries"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("store inspect missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if code := run([]string{"-stats", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("stats exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), `"entries": 9`) {
+		t.Fatalf("stats output: %q", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-verify", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("store verify exit %d: %s\n%s", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "all signs self-classify") {
+		t.Fatalf("store verify output: %q", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-compact", dir, "-full"}, &out, &errOut); code != 0 {
+		t.Fatalf("compact exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "compacted") {
+		t.Fatalf("compact output: %q", out.String())
+	}
+
+	// Converting onto an existing store must fail cleanly, and -convert
+	// without -o is a usage error.
+	if code := run([]string{"-convert", path, "-o", dir}, &out, &errOut); code != 1 {
+		t.Fatalf("re-convert exit %d, want 1", code)
+	}
+	if code := run([]string{"-convert", path}, &out, &errOut); code != 2 {
+		t.Fatalf("convert without -o exit %d, want 2", code)
+	}
+}

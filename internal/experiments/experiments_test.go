@@ -33,7 +33,7 @@ func TestAllOrderedAndUnique(t *testing.T) {
 // experiments are exercised too — they are the reproduction deliverable —
 // but skipped in -short mode.
 func TestExperimentsProduceReports(t *testing.T) {
-	heavy := map[string]bool{"E9": true, "E10": true, "E12": true, "E13": true}
+	heavy := map[string]bool{"E9": true, "E10": true, "E12": true, "E13": true, "E22": true}
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {

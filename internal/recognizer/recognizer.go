@@ -118,9 +118,10 @@ type Result struct {
 // setup calls — BuildReferences, AddReference, LoadReferences — must complete
 // before (or be externally serialised with) concurrent recognition.
 type Recognizer struct {
-	cfg Config
-	db  *sax.Database
-	enc *sax.Encoder
+	cfg  Config
+	db   *sax.Database  // in-memory backend (nil after UseDictionary swaps it out)
+	dict sax.Dictionary // active dictionary; == db unless UseDictionary replaced it
+	enc  *sax.Encoder
 }
 
 // Scratch holds the per-worker reusable state of one recognition lane: the
@@ -168,15 +169,45 @@ func New(cfg Config) (*Recognizer, error) {
 	if cfg.ScanWorkers > 1 {
 		db.SetScanWorkers(cfg.ScanWorkers)
 	}
-	return &Recognizer{cfg: cfg, db: db, enc: enc}, nil
+	return &Recognizer{cfg: cfg, db: db, dict: db, enc: enc}, nil
 }
 
 // Config returns the effective configuration.
 func (r *Recognizer) Config() Config { return r.cfg }
 
-// Database exposes the underlying SAX database (read-mostly; used by the
-// experiment harness for uniqueness matrices).
+// Database exposes the underlying in-memory SAX database (read-mostly; used
+// by the experiment harness for uniqueness matrices). It returns nil when
+// UseDictionary has replaced the backend with an external dictionary such as
+// the on-disk store — callers that need backend-agnostic access should use
+// Dictionary instead.
 func (r *Recognizer) Database() *sax.Database { return r.db }
+
+// Dictionary returns the active reference dictionary — the built-in
+// in-memory database by default, or whatever UseDictionary installed.
+func (r *Recognizer) Dictionary() sax.Dictionary { return r.dict }
+
+// UseDictionary replaces the reference backend with an external
+// sax.Dictionary — typically a mapped on-disk store (internal/sax/store), so
+// a drone serves million-entry dictionaries without parsing them at start-up.
+// The dictionary's encoder parameters and series length must match this
+// recognizer's configuration. Must not be called concurrently with
+// recognition; after it returns, Database() reports nil and Save/Load of the
+// in-memory database are unavailable.
+func (r *Recognizer) UseDictionary(d sax.Dictionary) error {
+	if d == nil {
+		return errors.New("recognizer: nil dictionary")
+	}
+	if d.Encoder().Segments() != r.cfg.Segments ||
+		d.Encoder().AlphabetSize() != r.cfg.Alphabet ||
+		d.SeriesLen() != r.cfg.SignatureLen {
+		return fmt.Errorf("recognizer: dictionary (w=%d a=%d n=%d) does not match config (w=%d a=%d n=%d)",
+			d.Encoder().Segments(), d.Encoder().AlphabetSize(), d.SeriesLen(),
+			r.cfg.Segments, r.cfg.Alphabet, r.cfg.SignatureLen)
+	}
+	r.dict = d
+	r.db = nil
+	return nil
+}
 
 // labelFor maps signs to database labels.
 func labelFor(s body.Sign) string { return s.String() }
@@ -196,7 +227,7 @@ func (r *Recognizer) AddReference(s body.Sign, sig timeseries.Series) error {
 	if !s.Valid() {
 		return fmt.Errorf("recognizer: invalid sign %d", int(s))
 	}
-	return r.db.Add(labelFor(s), sig)
+	return r.dict.Add(labelFor(s), sig)
 }
 
 // ReferenceAzimuths are the relative azimuths at which BuildReferences
@@ -233,7 +264,7 @@ func (r *Recognizer) BuildReferencesAt(rend *scene.Renderer, view scene.View, az
 			if err != nil {
 				return fmt.Errorf("recognizer: reference %v @ %v°: %w", s, az, err)
 			}
-			if err := r.db.Add(labelFor(s), sig); err != nil {
+			if err := r.dict.Add(labelFor(s), sig); err != nil {
 				return err
 			}
 		}
@@ -336,7 +367,7 @@ func (r *Recognizer) recognize(sc *Scratch, frame *raster.Gray) (Result, error) 
 	// over the nearest *rival* label (other exemplars of the same sign do
 	// not compete) becomes the confidence the monitor and negotiation
 	// layers consume.
-	matches, lerr := r.db.LookupKZWith(sc.lk, z, word, 4, sc.topk[:0])
+	matches, lerr := r.dict.LookupKZWith(sc.lk, z, word, 4, sc.topk[:0])
 	t5 := time.Now()
 	res.Timings.Match = t5.Sub(t4)
 	res.Timings.Total = t5.Sub(t0)
@@ -374,8 +405,13 @@ func (r *Recognizer) RecognizeView(rend *scene.Renderer, s body.Sign, v scene.Vi
 }
 
 // SaveReferences serialises the reference database (see sax.Database.Save):
-// build the dictionary once on the ground station, ship it to drones.
+// build the dictionary once on the ground station, ship it to drones. Only
+// the in-memory backend can be saved; store-backed recognizers ship the
+// store directory instead (store.Snapshot.CopyTo).
 func (r *Recognizer) SaveReferences(w io.Writer) error {
+	if r.db == nil {
+		return errors.New("recognizer: external dictionary in use; save the store directory instead")
+	}
 	return r.db.Save(w)
 }
 
@@ -400,5 +436,6 @@ func (r *Recognizer) LoadReferences(rd io.Reader) error {
 		db.SetScanWorkers(r.cfg.ScanWorkers)
 	}
 	r.db = db
+	r.dict = db
 	return nil
 }

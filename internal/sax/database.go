@@ -101,6 +101,10 @@ type Database struct {
 	seqCounter atomic.Uint64
 	count      atomic.Int64
 	shards     [numShards]shard
+
+	// corpus adapts the shards to the cascade kernel (see lookup.go); kept
+	// as a field so the Corpus interface conversion never allocates.
+	corpus dbCorpus
 }
 
 // NewDatabase creates a database for signatures of length n symbolised by
@@ -112,7 +116,9 @@ func NewDatabase(enc *Encoder, n int) (*Database, error) {
 	if n < enc.Segments() {
 		return nil, fmt.Errorf("sax: series length %d below word length %d", n, enc.Segments())
 	}
-	return &Database{enc: enc, n: n}, nil
+	db := &Database{enc: enc, n: n}
+	db.corpus.db = db
+	return db, nil
 }
 
 // Encoder returns the database's encoder.

@@ -101,6 +101,20 @@ func (e *Encoder) histLowerBound(qh, eh []uint16, n int) float64 {
 	}
 }
 
+// HistLowerBoundRaw is the stage-0 bound for pre-extracted histograms — the
+// cascade hot path used by Corpus implementations whose histograms are
+// precomputed (the database's per-entry cache, the on-disk store's mapped
+// prune index). No validation is performed: both histograms must be
+// alphabet-length and sum to the encoder's segment count.
+func (e *Encoder) HistLowerBoundRaw(qh, eh []uint16, n int) float64 {
+	return e.histLowerBound(qh, eh, n)
+}
+
+// HistogramOf returns w's symbol histogram: hist[i] counts symbol 'a'+i.
+// The on-disk store precomputes these at build time into its segment files'
+// prune-index block.
+func HistogramOf(w Word) []uint16 { return histOf(w) }
+
 // HistLowerBound is the exported form of the stage-0 bound for two words
 // (diagnostics and tests); the database keeps per-entry histograms so its
 // cascade never re-derives them.

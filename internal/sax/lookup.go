@@ -1,19 +1,18 @@
 package sax
 
 import (
-	"errors"
-	"math"
 	"sync"
 	"sync/atomic"
 
 	"hdc/internal/timeseries"
 )
 
-// lookup.go implements the database's three-stage pruning cascade:
+// lookup.go binds the database's sharded in-memory store to the three-stage
+// pruning cascade of cascade.go:
 //
 //	stage 0 — symbol-histogram lower bound (rotation/mirror invariant,
 //	          O(alphabet) per entry, see histogram.go), computed for every
-//	          entry under its shard's read lock;
+//	          entry from a point-in-time snapshot of each shard;
 //	stage 1 — rotation-windowed MINDIST over the word and its cached mirror,
 //	          early-abandoned against the best exact distance so far;
 //	stage 2 — exact rotation/mirror alignment at series level, likewise
@@ -27,20 +26,12 @@ import (
 // evaluations therefore happen in true MINDIST order — the cutoff tightens
 // as early as possible — and the moment the queue's minimum bound exceeds
 // the current k-th best exact distance the remainder is rejected wholesale.
-// This is a partial selection: the sort.Slice full ordering (and its
-// per-call closures) of the previous implementation is gone. All working
-// storage lives in a LookupScratch, so the steady state allocates nothing.
-
-// cand is one queue element: an entry and its current lower bound —
-// histogram-level (refined=false) or word-MINDIST-level (refined=true).
-type cand struct {
-	e       *Entry
-	lb      float64
-	refined bool
-}
+// All working storage lives in a LookupScratch, so the steady state
+// allocates nothing. The refinement loop itself lives in CascadeLookupKZ,
+// shared with the segmented on-disk store (internal/sax/store).
 
 // LookupStats counts what each cascade stage did during the last lookup
-// made with a scratch (diagnostics for tuning and the E18 experiment).
+// made with a scratch (diagnostics for tuning and the E18/E22 experiments).
 type LookupStats struct {
 	Entries    int // entries scanned in stage 0
 	HistPruned int // rejected wholesale by the histogram bound
@@ -49,17 +40,29 @@ type LookupStats struct {
 }
 
 // LookupScratch holds the reusable per-caller state of the lookup cascade:
-// the query histogram, the candidate heap, and the top-k working set. Hold
-// one per worker goroutine (it must not be shared between concurrent
-// lookups) and pass it to LookupZWith/LookupKZWith; after the first few
-// calls the cascade reaches a zero-allocation steady state.
+// the query histogram, the candidate heap, the top-k working set and the
+// corpus view buffers. Hold one per worker goroutine (it must not be shared
+// between concurrent lookups) and pass it to LookupZWith/LookupKZWith; after
+// the first few calls the cascade reaches a zero-allocation steady state.
 type LookupScratch struct {
-	qHist     []uint16
-	cands     []cand
-	matchSeq  []uint64
-	one       []Match // backing store for LookupZWith's single result
+	qHist    []uint16
+	cands    []cand
+	matchSeq []uint64
+	one      []Match // backing store for LookupZWith's single result
+
+	// shardSnap holds the per-shard entry-slice snapshots taken during
+	// stage 0, so candidate references stay resolvable lock-free for the
+	// rest of the lookup (the backing arrays are append-only immutable).
+	shardSnap [numShards][]Entry
 	shardBufs [numShards][]cand
-	stats     LookupStats
+
+	// viewW/viewS are the mirror buffers handed out by ViewScratch for
+	// corpora that materialise mirror candidates on demand (the on-disk
+	// store); the in-memory database caches its mirrors per entry instead.
+	viewW []byte
+	viewS timeseries.Series
+
+	stats LookupStats
 }
 
 // NewLookupScratch returns a fresh lookup scratch.
@@ -75,238 +78,62 @@ var lookupScratchPool = sync.Pool{
 	New: func() any { return NewLookupScratch() },
 }
 
-// candLess orders heap elements by (lower bound, insertion seq); the seq tie
-// break keeps the pop order — and therefore exact-tie resolution —
-// deterministic and identical to the linear reference scan.
-func candLess(a, b cand) bool {
-	if a.lb != b.lb {
-		return a.lb < b.lb
-	}
-	return a.e.seq < b.e.seq
-}
+// Shard references pack (shard index, entry index) into the cascade's opaque
+// 64-bit candidate reference.
+const dbRefShardShift = 48
 
-// siftDown restores the min-heap property from index i.
-func siftDown(h []cand, i int) {
-	n := len(h)
-	for {
-		l := 2*i + 1
-		if l >= n {
-			return
-		}
-		m := l
-		if r := l + 1; r < n && candLess(h[r], h[l]) {
-			m = r
-		}
-		if !candLess(h[m], h[i]) {
-			return
-		}
-		h[i], h[m] = h[m], h[i]
-		i = m
-	}
-}
+// dbCorpus adapts the sharded store to the cascade's Corpus interface. The
+// value lives inside the Database so the interface conversion never
+// allocates.
+type dbCorpus struct{ db *Database }
 
-// heapify builds a min-heap in place.
-func heapify(h []cand) {
-	for i := len(h)/2 - 1; i >= 0; i-- {
-		siftDown(h, i)
-	}
-}
-
-// heapPop removes and returns the minimum element.
-func heapPop(h []cand) (cand, []cand) {
-	top := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h = h[:n]
-	if n > 1 {
-		siftDown(h, 0)
-	}
-	return top, h
-}
-
-// heapPush inserts c, restoring the heap property.
-func heapPush(h []cand, c cand) []cand {
-	h = append(h, c)
-	i := len(h) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if !candLess(h[i], h[p]) {
-			break
-		}
-		h[i], h[p] = h[p], h[i]
-		i = p
-	}
-	return h
-}
-
-// insertTopK inserts m (with tie-break seq) into the ascending
-// (Dist, seq)-ordered dst, keeping at most k elements. seqs is maintained in
-// parallel with dst.
-func insertTopK(dst []Match, seqs *[]uint64, k int, m Match, seq uint64) []Match {
-	s := *seqs
-	pos := len(dst)
-	for pos > 0 {
-		p := pos - 1
-		if m.Dist < dst[p].Dist || (m.Dist == dst[p].Dist && seq < s[p]) {
-			pos = p
-		} else {
-			break
-		}
-	}
-	if pos >= k {
-		return dst // not better than the current k-th
-	}
-	if len(dst) < k {
-		dst = append(dst, Match{})
-		s = append(s, 0)
-	}
-	copy(dst[pos+1:], dst[pos:])
-	copy(s[pos+1:], s[pos:len(dst)-1])
-	dst[pos] = m
-	s[pos] = seq
-	*seqs = s
-	return dst
-}
-
-// LookupKZWith is the cascade kernel: it finds the (up to) k nearest entries
-// to the prepared query (canonical-length z-normalised series z, its word
-// qw), closest first, written into dst. dst is reused from the start — its
-// existing contents are discarded — and capacity ≥ k makes the call
-// allocation-free in steady state. No threshold is applied (see LookupK).
-// The scratch must not be shared between concurrent lookups.
-func (db *Database) LookupKZWith(sc *LookupScratch, z timeseries.Series, qw Word, k int, dst []Match) ([]Match, error) {
-	dst = dst[:0]
-	if k < 1 {
-		return dst, errors.New("sax: lookup k < 1")
-	}
-	if qw.Alphabet != db.enc.AlphabetSize() || len(qw.Symbols) != db.enc.Segments() {
-		return dst, ErrWordMismatch
-	}
-	if sc == nil {
-		sc = lookupScratchPool.Get().(*LookupScratch)
-		defer lookupScratchPool.Put(sc)
-	}
-	wordWin, seriesWin, workers := db.params()
-	sc.stats = LookupStats{}
-	sc.qHist = histInto(sc.qHist, qw)
-	sc.matchSeq = sc.matchSeq[:0]
-
-	// Stage 0: histogram lower bound per entry, per shard. The *Entry
-	// pointers remain valid after the read locks drop because entries are
-	// append-only and immutable (see shard).
-	sc.cands = sc.cands[:0]
+// ScanHist implements Corpus: the stage-0 histogram pass over every shard.
+// Each shard's entry slice is snapshotted under its read lock (a header
+// copy; the backing array is append-only immutable), then the bounds are
+// computed lock-free. With SetScanWorkers the pass fans out over the shards
+// for large dictionaries.
+func (c *dbCorpus) ScanHist(sc *LookupScratch, qh []uint16) {
+	db := c.db
+	_, _, workers := db.params()
 	if workers > 1 && int(db.count.Load()) >= concurrentScanMin {
-		db.scanShardsConcurrent(sc, workers)
-	} else {
-		for si := range db.shards {
-			sh := &db.shards[si]
-			sh.mu.RLock()
-			for i := range sh.entries {
-				e := &sh.entries[i]
-				sc.cands = append(sc.cands, cand{e: e, lb: db.enc.histLowerBound(sc.qHist, e.hist, db.n)})
-			}
-			sh.mu.RUnlock()
+		c.scanConcurrent(sc, qh, workers)
+		return
+	}
+	for si := range db.shards {
+		sh := &db.shards[si]
+		sh.mu.RLock()
+		snap := sh.entries
+		sh.mu.RUnlock()
+		sc.shardSnap[si] = snap
+		ref := uint64(si) << dbRefShardShift
+		for i := range snap {
+			e := &snap[i]
+			sc.AppendCandidate(ref|uint64(i), e.seq, db.enc.histLowerBound(qh, e.hist, db.n))
 		}
 	}
-	sc.stats.Entries = len(sc.cands)
-	heapify(sc.cands)
-
-	// Best-first refinement: pop the smallest current bound; refine stage-0
-	// bounds to stage-1 and re-push, run the exact stage on refined ones.
-	// The prune comparisons are strict (>) so exact ties stay in play for
-	// the deterministic seq tie-break, matching the linear reference bit
-	// for bit.
-	h := sc.cands
-	for len(h) > 0 {
-		cutoff := math.Inf(1)
-		if len(dst) == k {
-			cutoff = dst[k-1].Dist
-		}
-		var c cand
-		c, h = heapPop(h)
-		if c.lb > cutoff {
-			// Heap order: every remaining bound is at least this one.
-			// Count the wholesale rejection by the stage that produced
-			// each surviving bound.
-			if c.refined {
-				sc.stats.WordPruned++
-			} else {
-				sc.stats.HistPruned++
-			}
-			for i := range h {
-				if h[i].refined {
-					sc.stats.WordPruned++
-				} else {
-					sc.stats.HistPruned++
-				}
-			}
-			break
-		}
-		e := c.e
-
-		if !c.refined {
-			// Stage 1: MINDIST over word and cached mirror word.
-			wlb, _, err := db.enc.MinDistRotationWindowCutoff(qw, e.Word, db.n, wordWin, cutoff)
-			if err != nil {
-				sc.cands = sc.cands[:0]
-				return dst, err
-			}
-			cutRev := cutoff
-			if wlb < cutRev {
-				cutRev = wlb
-			}
-			if wlbRev, _, err := db.enc.MinDistRotationWindowCutoff(qw, e.revWord, db.n, wordWin, cutRev); err != nil {
-				sc.cands = sc.cands[:0]
-				return dst, err
-			} else if wlbRev < wlb {
-				wlb = wlbRev
-			}
-			if wlb > cutoff {
-				sc.stats.WordPruned++
-				continue
-			}
-			h = heapPush(h, cand{e: e, lb: wlb, refined: true})
-			continue
-		}
-
-		// Stage 2: exact rotation/mirror alignment.
-		sc.stats.ExactEvals++
-		d, shift, err := timeseries.MinRotationDistWindowCutoff(z, e.Series, seriesWin, cutoff)
-		if err != nil {
-			sc.cands = sc.cands[:0]
-			return dst, err
-		}
-		mirrored := false
-		cutM := cutoff
-		if d < cutM {
-			cutM = d
-		}
-		if dRev, sRev, err := timeseries.MinRotationDistWindowCutoff(z, e.revSeries, seriesWin, cutM); err != nil {
-			sc.cands = sc.cands[:0]
-			return dst, err
-		} else if dRev < d {
-			d, shift, mirrored = dRev, sRev, true
-		}
-		dst = insertTopK(dst, &sc.matchSeq, k, Match{
-			Label:    e.Label,
-			Word:     e.Word,
-			WordDist: c.lb,
-			Dist:     d,
-			Shift:    shift,
-			Mirrored: mirrored,
-		}, e.seq)
-	}
-	sc.cands = sc.cands[:0]
-	return dst, nil
 }
 
-// scanShardsConcurrent fans the stage-0 histogram pass over the shards with
-// up to workers goroutines — the same bounded-fan-out discipline as the
-// pipeline's worker pool — then concatenates the per-shard buffers in shard
-// order so the result is deterministic regardless of scheduling. Worth it
-// only for large dictionaries: the fan-out allocates, which is why it is
-// gated behind SetScanWorkers and concurrentScanMin.
-func (db *Database) scanShardsConcurrent(sc *LookupScratch, workers int) {
+// View implements Corpus by resolving the packed (shard, index) reference
+// against the snapshots taken in ScanHist.
+func (c *dbCorpus) View(sc *LookupScratch, ref uint64) EntryView {
+	e := &sc.shardSnap[ref>>dbRefShardShift][ref&(1<<dbRefShardShift-1)]
+	return EntryView{
+		Label:     e.Label,
+		Word:      e.Word,
+		RevWord:   e.revWord,
+		Series:    e.Series,
+		RevSeries: e.revSeries,
+	}
+}
+
+// scanConcurrent fans the stage-0 histogram pass over the shards with up to
+// workers goroutines — the same bounded-fan-out discipline as the pipeline's
+// worker pool — then concatenates the per-shard buffers in shard order so
+// the result is deterministic regardless of scheduling. Worth it only for
+// large dictionaries: the fan-out allocates, which is why it is gated behind
+// SetScanWorkers and concurrentScanMin.
+func (c *dbCorpus) scanConcurrent(sc *LookupScratch, qh []uint16, workers int) {
+	db := c.db
 	if workers > numShards {
 		workers = numShards
 	}
@@ -321,14 +148,21 @@ func (db *Database) scanShardsConcurrent(sc *LookupScratch, workers int) {
 				if si >= numShards {
 					return
 				}
-				buf := sc.shardBufs[si][:0]
 				sh := &db.shards[si]
 				sh.mu.RLock()
-				for i := range sh.entries {
-					e := &sh.entries[i]
-					buf = append(buf, cand{e: e, lb: db.enc.histLowerBound(sc.qHist, e.hist, db.n)})
-				}
+				snap := sh.entries
 				sh.mu.RUnlock()
+				sc.shardSnap[si] = snap
+				buf := sc.shardBufs[si][:0]
+				ref := uint64(si) << dbRefShardShift
+				for i := range snap {
+					e := &snap[i]
+					buf = append(buf, cand{
+						ref: ref | uint64(i),
+						seq: e.seq,
+						lb:  db.enc.histLowerBound(qh, e.hist, db.n),
+					})
+				}
 				sc.shardBufs[si] = buf
 			}
 		}()
@@ -337,4 +171,16 @@ func (db *Database) scanShardsConcurrent(sc *LookupScratch, workers int) {
 	for si := range sc.shardBufs {
 		sc.cands = append(sc.cands, sc.shardBufs[si]...)
 	}
+}
+
+// LookupKZWith is the database's entry to the cascade kernel: it finds the
+// (up to) k nearest entries to the prepared query (canonical-length
+// z-normalised series z, its word qw), closest first, written into dst. dst
+// is reused from the start — its existing contents are discarded — and
+// capacity ≥ k makes the call allocation-free in steady state. No threshold
+// is applied (see LookupK). The scratch must not be shared between
+// concurrent lookups.
+func (db *Database) LookupKZWith(sc *LookupScratch, z timeseries.Series, qw Word, k int, dst []Match) ([]Match, error) {
+	wordWin, seriesWin, _ := db.params()
+	return CascadeLookupKZ(sc, &db.corpus, db.enc, db.n, wordWin, seriesWin, z, qw, k, dst)
 }

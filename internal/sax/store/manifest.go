@@ -1,0 +1,146 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// manifest.go defines the store's root metadata file. The manifest is the
+// commit point of every structural change: a segment exists iff the current
+// manifest references it, so compaction becomes crash-safe by writing the
+// new segment first, then atomically swapping the manifest (tmp + fsync +
+// rename), and only then unlinking replaced files and rewriting the log.
+// A crash at any point leaves either the old manifest (new files are orphans,
+// removed at next open) or the new one (old files are orphans likewise).
+
+// manifestName is the manifest's file name within a store directory.
+const manifestName = "MANIFEST.json"
+
+// storeVersion is the on-disk format version of the segmented store (the
+// JSON dictionary file is version 1).
+const storeVersion = 2
+
+// manifestSegment describes one sealed segment file.
+type manifestSegment struct {
+	File    string `json:"file"`
+	Entries int    `json:"entries"`
+	BaseSeq uint64 `json:"base_seq"`
+	CRC     uint32 `json:"crc"` // body checksum, mirrors the segment header
+}
+
+// manifest is the JSON root of a store directory.
+type manifest struct {
+	Version   int     `json:"version"`
+	WordLen   int     `json:"word_len"`
+	Alphabet  int     `json:"alphabet"`
+	SeriesLen int     `json:"series_len"`
+	ShiftFrac float64 `json:"shift_frac,omitempty"`
+	// NextSeq is the first unassigned sequence number: log records below it
+	// are already sealed and are skipped on replay.
+	NextSeq uint64 `json:"next_seq"`
+	// NextSegID numbers segment files; monotonically increasing so a
+	// compaction's output never collides with a file a concurrent reader
+	// still maps.
+	NextSegID  int               `json:"next_seg_id"`
+	SyncWrites bool              `json:"sync_writes,omitempty"`
+	Segments   []manifestSegment `json:"segments"`
+}
+
+// params returns the manifest's segment parameters.
+func (mf *manifest) params() segParams {
+	return segParams{wordLen: mf.WordLen, alphabet: mf.Alphabet, seriesLen: mf.SeriesLen}
+}
+
+// validate performs the structural checks every loaded manifest must pass
+// before its parameters size any buffer.
+func (mf *manifest) validate() error {
+	if mf.Version != storeVersion {
+		return fmt.Errorf("%w: unsupported store version %d", ErrCorruptManifest, mf.Version)
+	}
+	const maxParam = 1 << 20
+	if mf.WordLen < 1 || mf.WordLen > maxParam ||
+		mf.Alphabet < 2 || mf.Alphabet > 26 ||
+		mf.SeriesLen < mf.WordLen || mf.SeriesLen > maxParam {
+		return fmt.Errorf("%w: implausible parameters (word_len %d, alphabet %d, series_len %d)",
+			ErrCorruptManifest, mf.WordLen, mf.Alphabet, mf.SeriesLen)
+	}
+	seq := uint64(1)
+	for i, s := range mf.Segments {
+		if s.File == "" || filepath.Base(s.File) != s.File {
+			return fmt.Errorf("%w: segment %d has invalid file name %q", ErrCorruptManifest, i, s.File)
+		}
+		if s.Entries < 0 || s.BaseSeq != seq {
+			return fmt.Errorf("%w: segment %d sequence run broken (base_seq %d, want %d)",
+				ErrCorruptManifest, i, s.BaseSeq, seq)
+		}
+		seq += uint64(s.Entries)
+	}
+	if mf.NextSeq < seq {
+		return fmt.Errorf("%w: next_seq %d below sealed range end %d", ErrCorruptManifest, mf.NextSeq, seq)
+	}
+	return nil
+}
+
+// loadManifest reads and validates dir's manifest.
+func loadManifest(dir string) (*manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var mf manifest
+	if err := json.Unmarshal(b, &mf); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptManifest, err)
+	}
+	if err := mf.validate(); err != nil {
+		return nil, err
+	}
+	return &mf, nil
+}
+
+// writeManifest atomically replaces dir's manifest: the new content is
+// written beside it, fsynced, and renamed into place (renameFn is the
+// store's injectable rename, the crash-testing hook), then the directory is
+// fsynced so the rename itself is durable.
+func writeManifest(dir string, mf *manifest, renameFn func(old, new string) error) error {
+	b, err := json.MarshalIndent(mf, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := renameFn(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed file is durable across a
+// crash (best-effort on filesystems that reject directory fsync).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Best-effort: some filesystems (and all of Windows) refuse to fsync a
+	// directory; the rename stays atomic, only crash durability of the new
+	// name is weaker there.
+	_ = d.Sync()
+	return nil
+}

@@ -1,0 +1,37 @@
+//go:build !(linux || darwin)
+
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// mapped is a read-only view of a segment file's bytes. This fallback build
+// reads the file into an (8-byte-aligned) heap buffer on hosts without the
+// unix mmap path; the accessors are identical, only the open cost and
+// residency behaviour differ.
+type mapped struct {
+	data []byte
+	mm   bool
+}
+
+// mapFile reads size bytes of f into memory.
+func mapFile(f *os.File, size int) (mapped, error) {
+	if size == 0 {
+		return mapped{}, nil
+	}
+	// A []uint64 backing guarantees the 8-byte alignment the series-block
+	// view requires; Go's allocator aligns large byte slices anyway, but the
+	// format check in openSegment must never depend on allocator luck.
+	words := make([]uint64, (size+7)/8)
+	buf := unsafeBytes(words)[:size]
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, int64(size)), buf); err != nil {
+		return mapped{}, fmt.Errorf("read %s: %w", f.Name(), err)
+	}
+	return mapped{data: buf}, nil
+}
+
+// close releases the buffer (a no-op beyond dropping the reference).
+func (m mapped) close() error { return nil }

@@ -1,0 +1,40 @@
+//go:build linux || darwin
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapped is a read-only view of a segment file's bytes. On unix hosts it is a
+// shared memory mapping: opening a million-entry store faults in pages on
+// demand instead of reading and decoding the file, and the page cache shares
+// one copy of the dictionary across every process that opens it.
+type mapped struct {
+	data []byte
+	mm   bool // true when data is a syscall mapping (not heap)
+}
+
+// mapFile maps size bytes of f read-only.
+func mapFile(f *os.File, size int) (mapped, error) {
+	if size == 0 {
+		return mapped{}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return mapped{}, fmt.Errorf("mmap %s: %w", f.Name(), err)
+	}
+	return mapped{data: data, mm: true}, nil
+}
+
+// close releases the mapping. Call only once no reader can hold a view into
+// the mapped bytes (the store unmaps at Close, never on compaction, so
+// in-flight lookups keep a valid view of retired segments).
+func (m mapped) close() error {
+	if !m.mm || m.data == nil {
+		return nil
+	}
+	return syscall.Munmap(m.data)
+}

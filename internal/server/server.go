@@ -43,6 +43,7 @@ import (
 	"hdc/internal/gesture"
 	"hdc/internal/pipeline"
 	"hdc/internal/raster"
+	"hdc/internal/sax/store"
 )
 
 // Options tunes the service. The zero value serves with the defaults.
@@ -64,6 +65,12 @@ type Options struct {
 	// GestureBuffer overrides the live sessions' ingest ring capacity
 	// (default: two observation windows).
 	GestureBuffer int
+	// Store, when set, is the on-disk sign dictionary backing the system's
+	// recognizer (internal/sax/store). The server does not own it — the
+	// process that opened it closes it after shutdown — but /statsz reports
+	// its shape (segments, tail, WAL backlog, compaction health) so an
+	// operator can watch a drone's dictionary alongside its pool.
+	Store *store.Store
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -415,6 +422,10 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"stream_frames": s.statStream.snapshot(),
 		},
 		Mem: memSnapshot(),
+	}
+	if s.opts.Store != nil {
+		st := s.opts.Store.Stats()
+		resp.Store = &st
 	}
 	if s.opts.Gesture != nil {
 		resp.Endpoints["gesture"] = s.statGesture.snapshot()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hdc/internal/pipeline"
+	"hdc/internal/sax/store"
 )
 
 // stats.go instruments the service: every endpoint keeps lock-free counters
@@ -185,7 +186,9 @@ type MemSnapshot struct {
 	Goroutines      int    `json:"goroutines"`
 }
 
-// StatsResponse is the /statsz body.
+// StatsResponse is the /statsz body. Store is present only when the process
+// serves from an on-disk dictionary (Options.Store): its segment/tail/WAL
+// shape is the signal that compaction is keeping up with appends.
 type StatsResponse struct {
 	UptimeS   float64                     `json:"uptime_s"`
 	Draining  bool                        `json:"draining"`
@@ -194,6 +197,7 @@ type StatsResponse struct {
 	Sessions  SessionSnapshot             `json:"sessions"`
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 	Mem       MemSnapshot                 `json:"mem"`
+	Store     *store.Stats                `json:"store,omitempty"`
 }
 
 // ownerSnapshots converts the pool's per-owner stats to their wire form.
