@@ -8,6 +8,8 @@
 //	hdcserve -gesture=false                         # static signs only
 //	hdcserve -gesture-buffer 96                     # deeper live-feed ingest ring
 //	hdcserve -loadgen -operators 16 -duration 5s    # measured E19 experiment
+//	hdcserve -failpoints 'store/wal-append=error(enospc)'  # chaos drill (or HDC_FAILPOINTS)
+//	hdcserve -failpointz                            # mount the debug /failpointz endpoint
 //
 // The gesture endpoints (POST /v1/gesture, /v1/gesture/streams live
 // sessions with ring-buffer ingest) are served by default; live sessions
@@ -36,6 +38,7 @@ import (
 	"time"
 
 	"hdc/internal/core"
+	"hdc/internal/failpoint"
 	"hdc/internal/gesture"
 	"hdc/internal/pipeline"
 	"hdc/internal/recognizer"
@@ -65,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		maxBatch = fs.Int("max-batch", 256, "largest accepted batch / stream-frames request")
 		gest     = fs.Bool("gesture", true, "serve the dynamic-gesture endpoints (/v1/gesture + live ring-buffer sessions)")
 		gestBuf  = fs.Int("gesture-buffer", 0, "live gesture ingest ring capacity in frames (0 = two observation windows)")
+		fps      = fs.String("failpoints", "", "arm fault-injection points: name=spec[,name=spec...] (also read from HDC_FAILPOINTS; 'off' disarms)")
+		fpz      = fs.Bool("failpointz", false, "mount the debug /failpointz endpoint (list/arm/disarm failpoints at runtime)")
 
 		loadgen   = fs.Bool("loadgen", false, "drive synthetic load instead of serving (the E19 experiment)")
 		operators = fs.Int("operators", 8, "loadgen: concurrent synthetic operators")
@@ -80,6 +85,20 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	if fs.NArg() != 0 {
 		fmt.Fprintf(stderr, "hdcserve: unexpected arguments: %v\n", fs.Args())
 		return 2
+	}
+
+	// Failpoints arm process-wide before anything else starts, so a chaos
+	// drill covers the store open and pool start too. The flag wins over the
+	// environment.
+	fpSpec := *fps
+	if fpSpec == "" {
+		fpSpec = os.Getenv("HDC_FAILPOINTS")
+	}
+	if fpSpec != "" {
+		if err := failpoint.Configure(fpSpec); err != nil {
+			fmt.Fprintln(stderr, "hdcserve:", err)
+			return 2
+		}
 	}
 
 	if *loadgen {
@@ -103,7 +122,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintln(stderr, "hdcserve: -dict and -store are mutually exclusive")
 		return 2
 	}
-	sys, srv, st, err := buildService(*workers, *queue, *window, *dict, *storeDir, *idle, *maxBatch, *gest, *gestBuf)
+	sys, srv, st, err := buildService(*workers, *queue, *window, *dict, *storeDir, *idle, *maxBatch, *gest, *gestBuf, *fpz)
 	if err != nil {
 		fmt.Fprintln(stderr, "hdcserve:", err)
 		return 1
@@ -119,7 +138,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 // returned store is non-nil only in -store mode; the caller closes it after
 // the system drains.
 func buildService(workers, queue, window int, dict, storeDir string, idle time.Duration,
-	maxBatch int, gest bool, gestBuf int) (*core.System, *server.Server, *store.Store, error) {
+	maxBatch int, gest bool, gestBuf int, debugFailpoints bool) (*core.System, *server.Server, *store.Store, error) {
 	sys, err := core.NewSystem(
 		core.WithSceneConfig(scene.Config{}),
 		core.WithPipelineConfig(pipeline.Config{
@@ -151,6 +170,7 @@ func buildService(workers, queue, window int, dict, storeDir string, idle time.D
 		StreamIdleTimeout: idle,
 		GestureBuffer:     gestBuf,
 		Store:             st,
+		DebugFailpoints:   debugFailpoints,
 	}
 	if gest {
 		rec, err := gesture.NewRecognizer(gesture.Config{}, sys.Rend, scene.ReferenceView())

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"os"
@@ -9,6 +10,10 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"hdc/internal/failpoint"
+	"hdc/internal/raster"
+	"hdc/internal/server/client"
 )
 
 // TestLoadgenSmoke runs a miniature in-process load generation end to end:
@@ -160,5 +165,82 @@ func TestServeStoreMode(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-dict", "x.json", "-store", dir}, &out, &errOut, nil); code != 2 {
 		t.Fatalf("-dict+-store exit %d, want 2", code)
+	}
+}
+
+// TestServeDrainWithOpenSessions is the hard drain case: SIGTERM lands
+// while a recognition stream has a frames request in flight (workers
+// slowed by a failpoint) and a live gesture session sits open. The drain
+// must still complete: the in-flight request finishes (its tail may answer
+// "draining"), the sessions end, and run exits 0.
+func TestServeDrainWithOpenSessions(t *testing.T) {
+	defer failpoint.DisableAll()
+	var out, errOut bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1", "-queue", "1", "-window", "2"}, &out, &errOut, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("server never became ready: %s", errOut.String())
+	}
+
+	c := client.New("http://"+addr, nil)
+	ctx := context.Background()
+	st, err := c.OpenStream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gst, err := c.OpenGestureStream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frames := make([]*raster.Gray, 8)
+	for i := range frames {
+		frames[i], err = raster.NewGray(64, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := gst.Offer(ctx, frames[:2]...); err != nil {
+		t.Fatal(err)
+	}
+
+	// Slow the single worker so the stream request is still in flight when
+	// the signal lands.
+	if err := failpoint.Enable(failpoint.PipelineWorker, "delay(50ms)"); err != nil {
+		t.Fatal(err)
+	}
+	submitDone := make(chan error, 1)
+	go func() {
+		_, err := st.Submit(ctx, frames...)
+		submitDone <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the request reach the pool
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d: %s", code, errOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain never completed with open sessions")
+	}
+	// The in-flight request must have been answered, not abandoned: either
+	// full results or a transport/draining error, but never a hang.
+	select {
+	case <-submitDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight stream request never returned")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Fatalf("drain log: %q", out.String())
 	}
 }

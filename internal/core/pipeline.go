@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"hdc/internal/pipeline"
 	"hdc/internal/raster"
 	"hdc/internal/recognizer"
@@ -83,6 +85,29 @@ func (s *System) RecognizeBatch(frames []*raster.Gray) ([]recognizer.Result, []e
 		return nil, nil, err
 	}
 	return o.RecognizeBatch(frames)
+}
+
+// RecognizeBatchContext is RecognizeBatch with a deadline and pooled-frame
+// recycling — see pipeline.Pipeline.RecognizeBatchContext for the frame
+// ownership contract (on a nil top-level error the call owns every frame;
+// recycle fires exactly once per frame).
+func (s *System) RecognizeBatchContext(ctx context.Context, frames []*raster.Gray, recycle func(*raster.Gray)) ([]recognizer.Result, []error, error) {
+	o, err := s.ensurePipeline()
+	if err != nil {
+		return nil, nil, err
+	}
+	return o.RecognizeBatchContext(ctx, frames, recycle)
+}
+
+// PoolQueue reports the worker pool's shared-queue occupancy without
+// starting it — the cheap admission-control signal (PoolStats allocates an
+// owner snapshot; this is two channel reads).
+func (s *System) PoolQueue() (queued, capacity int, started bool) {
+	if p := s.pipe.Load(); p != nil {
+		queued, capacity = p.QueueDepth()
+		return queued, capacity, true
+	}
+	return 0, 0, false
 }
 
 // PoolStats reports the worker pool's occupancy without starting it: started

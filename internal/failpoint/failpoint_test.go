@@ -1,0 +1,223 @@
+package failpoint
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNil(t *testing.T) {
+	defer DisableAll()
+	if err := Inject("never/enabled"); err != nil {
+		t.Fatalf("disabled inject: %v", err)
+	}
+}
+
+func TestErrorPolicy(t *testing.T) {
+	defer DisableAll()
+	if err := Enable("t/err", "error(disk full)"); err != nil {
+		t.Fatal(err)
+	}
+	err := Inject("t/err")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Name != "t/err" || fe.Msg != "disk full" {
+		t.Fatalf("bad error payload: %#v", err)
+	}
+	if !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("message lost: %v", err)
+	}
+	// Other points untouched.
+	if err := Inject("t/other"); err != nil {
+		t.Fatalf("unrelated point fired: %v", err)
+	}
+}
+
+func TestCountLimit(t *testing.T) {
+	defer DisableAll()
+	if err := Enable("t/count", "2*error()"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := Inject("t/count"); err == nil {
+			t.Fatalf("hit %d: want error", i)
+		}
+	}
+	if err := Inject("t/count"); err != nil {
+		t.Fatalf("exhausted point still fires: %v", err)
+	}
+	st := List()
+	if len(st) != 1 || st[0].Hits != 3 || st[0].Fired != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestDelayPolicy(t *testing.T) {
+	defer DisableAll()
+	if err := Enable("t/delay", "delay(30ms)"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Inject("t/delay"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay too short: %v", d)
+	}
+}
+
+func TestPanicPolicy(t *testing.T) {
+	defer DisableAll()
+	if err := Enable("t/panic", "panic(boom)"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "boom") {
+			t.Fatalf("recover = %v", r)
+		}
+	}()
+	_ = Inject("t/panic")
+	t.Fatal("unreachable")
+}
+
+func TestProbability(t *testing.T) {
+	defer DisableAll()
+	if err := Enable("t/prob", "50%error()"); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if Inject("t/prob") != nil {
+			fired++
+		}
+	}
+	if fired < n/4 || fired > 3*n/4 {
+		t.Fatalf("50%% policy fired %d/%d", fired, n)
+	}
+	// 0% never fires.
+	if err := Enable("t/never", "0%error()"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := Inject("t/never"); err != nil {
+			t.Fatalf("0%% policy fired: %v", err)
+		}
+	}
+}
+
+func TestConfigure(t *testing.T) {
+	defer DisableAll()
+	err := Configure("t/a=error(x), t/b = 3*delay(1ms) ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(List()); got != 2 {
+		t.Fatalf("points = %d", got)
+	}
+	if err := Configure("t/a=off"); err != nil {
+		t.Fatal(err)
+	}
+	if got := List(); len(got) != 1 || got[0].Name != "t/b" {
+		t.Fatalf("after off: %+v", got)
+	}
+	if err := Configure("garbage"); err == nil {
+		t.Fatal("want error for missing =")
+	}
+	if err := Configure("t/c=frobnicate"); err == nil {
+		t.Fatal("want error for unknown action")
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	for _, spec := range []string{"", "200%error()", "x*error()", "0*error()", "delay(nope)", "delay(-1s)", "error(unterminated", "explode"} {
+		if _, err := parseSpec(spec); err == nil {
+			t.Errorf("spec %q: want parse error", spec)
+		}
+	}
+	for _, spec := range []string{"error", "error()", "panic", "5%error(e)", "2*panic(p)", "1%1*delay(0s)"} {
+		if _, err := parseSpec(spec); err != nil {
+			t.Errorf("spec %q: %v", spec, err)
+		}
+	}
+}
+
+func TestReenableResetsPolicy(t *testing.T) {
+	defer DisableAll()
+	if err := Enable("t/re", "1*error(a)"); err != nil {
+		t.Fatal(err)
+	}
+	_ = Inject("t/re")
+	if err := Enable("t/re", "error(b)"); err != nil {
+		t.Fatal(err)
+	}
+	err := Inject("t/re")
+	if err == nil || !strings.Contains(err.Error(), "b") {
+		t.Fatalf("re-enabled policy: %v", err)
+	}
+	Disable("t/re")
+	if err := Inject("t/re"); err != nil {
+		t.Fatalf("disabled point fired: %v", err)
+	}
+	Disable("t/re") // double-disable is a no-op
+	if armed.Load() != 0 {
+		t.Fatalf("armed = %d after full disable", armed.Load())
+	}
+}
+
+func TestConcurrentInject(t *testing.T) {
+	defer DisableAll()
+	if err := Enable("t/conc", "10%delay(0s)"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				_ = Inject("t/conc")
+				if i == 250 {
+					_ = Enable("t/conc2", "error()")
+					Disable("t/conc2")
+				}
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+// BenchmarkFailpointDisabled pins the disabled-hook overhead the whole
+// design hangs on: one atomic load per Inject when nothing is armed. It is
+// part of the benchgate key set.
+func BenchmarkFailpointDisabled(b *testing.B) {
+	DisableAll()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Inject(PipelineWorker); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFailpointEnabledOther measures the cost at a hook whose name is
+// NOT armed while some other point is — the registry-lookup slow path that
+// every hook pays as soon as any failpoint is enabled anywhere.
+func BenchmarkFailpointEnabledOther(b *testing.B) {
+	DisableAll()
+	if err := Enable("bench/other", "error()"); err != nil {
+		b.Fatal(err)
+	}
+	defer DisableAll()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Inject(PipelineWorker); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -90,6 +91,13 @@ func (o *Owner) NewProcStream(proc Proc) (*Stream, error) {
 // owner, so batch traffic shows up in the owner's frame counts.
 func (o *Owner) RecognizeBatch(frames []*raster.Gray) ([]recognizer.Result, []error, error) {
 	return recognizeBatch(o.NewStream, frames)
+}
+
+// RecognizeBatchContext is Pipeline.RecognizeBatchContext on a stream
+// attributed to this owner; see that method for the deadline and frame
+// ownership contract.
+func (o *Owner) RecognizeBatchContext(ctx context.Context, frames []*raster.Gray, recycle func(*raster.Gray)) ([]recognizer.Result, []error, error) {
+	return recognizeBatchContext(ctx, o.NewStream, frames, recycle)
 }
 
 // Close detaches the owner from the pipeline. Streams it opened stay valid —

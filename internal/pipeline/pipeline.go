@@ -14,6 +14,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -21,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hdc/internal/failpoint"
 	"hdc/internal/raster"
 	"hdc/internal/recognizer"
 )
@@ -186,11 +188,17 @@ func (p *Pipeline) worker() {
 	sc := recognizer.NewScratch()
 	for j := range p.in {
 		var res recognizer.Result
-		var err error
-		if j.st.proc != nil {
-			res, err = j.st.proc(sc, j.seq, j.frame)
-		} else {
-			res, err = p.rec.RecognizeWith(sc, j.frame)
+		// The worker-dispatch failpoint: a delay policy slows the lane (the
+		// overload generator for the chaos suite and E23), an error policy
+		// completes the frame with the injected error without running the
+		// stage.
+		err := failpoint.Inject(failpoint.PipelineWorker)
+		if err == nil {
+			if j.st.proc != nil {
+				res, err = j.st.proc(sc, j.seq, j.frame)
+			} else {
+				res, err = p.rec.RecognizeWith(sc, j.frame)
+			}
 		}
 		j.st.complete(j.seq, j.frame, res, err)
 	}
@@ -208,6 +216,27 @@ func (p *Pipeline) enqueue(j job) error {
 	p.in <- j
 	return nil
 }
+
+// enqueueCtx is enqueue with a deadline: a send blocked on a full worker
+// queue gives up when ctx expires instead of waiting indefinitely.
+func (p *Pipeline) enqueueCtx(ctx context.Context, j job) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.in <- j:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// QueueDepth reports the shared worker queue's current occupancy and
+// capacity — the overload signal the server's admission control watches.
+// Cheaper than Stats (no lock, no owner snapshot), safe for concurrent use.
+func (p *Pipeline) QueueDepth() (queued, capacity int) { return len(p.in), cap(p.in) }
 
 // NewStream registers a new frame source and returns its stream. Streams
 // are independent: each delivers its results in submission order on its own
@@ -358,6 +387,99 @@ func recognizeBatch(newStream func() (*Stream, error), frames []*raster.Gray) ([
 	return results, errs, nil
 }
 
+// RecognizeBatchContext is RecognizeBatch with a deadline and pooled-buffer
+// recycling: when ctx expires mid-batch the call returns promptly with the
+// results completed so far, the remaining slots' errors set to ctx.Err(),
+// and the stream abandoned so in-flight frames drain in the background.
+//
+// Because frames may still be under a worker when the deadline fires, the
+// caller must hand ownership of every frame to the call: recycle (which may
+// be nil) is invoked exactly once per frame — synchronously for delivered
+// results and never-submitted frames, from the drain goroutine for frames
+// dropped by the abandon — and the caller must not touch the frames after
+// the call. On a non-nil top-level error no frame was consumed and the
+// caller keeps them all.
+func (p *Pipeline) RecognizeBatchContext(ctx context.Context, frames []*raster.Gray, recycle func(*raster.Gray)) ([]recognizer.Result, []error, error) {
+	return recognizeBatchContext(ctx, p.NewStream, frames, recycle)
+}
+
+// recognizeBatchContext is the deadline-aware sibling of recognizeBatch,
+// shared by Pipeline.RecognizeBatchContext and Owner.RecognizeBatchContext.
+func recognizeBatchContext(ctx context.Context, newStream func() (*Stream, error), frames []*raster.Gray, recycle func(*raster.Gray)) ([]recognizer.Result, []error, error) {
+	for _, f := range frames {
+		if f == nil {
+			return nil, nil, ErrNilFrame
+		}
+	}
+	results := make([]recognizer.Result, len(frames))
+	errs := make([]error, len(frames))
+	if len(frames) == 0 {
+		return results, errs, nil
+	}
+	st, err := newStream()
+	if err != nil {
+		return nil, nil, err
+	}
+	if recycle != nil {
+		st.SetDropHook(recycle)
+	}
+	go func() {
+		defer st.Close()
+		for i, f := range frames {
+			claimed, err := st.SubmitContext(ctx, f)
+			if err != nil {
+				// Claimed frames surface as results; everything after this
+				// point never entered the stream, so recycle it here.
+				rest := i
+				if claimed {
+					rest = i + 1
+				}
+				if recycle != nil {
+					for _, g := range frames[rest:] {
+						recycle(g)
+					}
+				}
+				return
+			}
+		}
+	}()
+	seen := make([]bool, len(frames))
+	done := ctx.Done()
+collect:
+	for {
+		select {
+		case r, ok := <-st.Results():
+			if !ok {
+				break collect
+			}
+			if r.Seq < uint64(len(frames)) {
+				results[r.Seq] = r.Res
+				errs[r.Seq] = r.Err
+				seen[r.Seq] = true
+			}
+			if recycle != nil && r.Frame != nil {
+				recycle(r.Frame)
+			}
+		case <-done:
+			// Deadline: stop waiting. Abandon turns the undelivered remainder
+			// into drop-hook recycles and lets slow workers finish in the
+			// background rather than on the caller's clock.
+			st.Abandon()
+			break collect
+		}
+	}
+	for i := range seen {
+		if !seen[i] {
+			if cerr := ctx.Err(); cerr != nil {
+				errs[i] = cerr
+			} else {
+				errs[i] = ErrClosed
+			}
+		}
+	}
+	return results, errs, nil
+}
+
 // StreamResult is one delivered recognition: the submitted frame (returned
 // so callers can recycle pooled buffers), its sequence number within the
 // stream, and the recogniser's verdict.
@@ -429,6 +551,59 @@ func (s *Stream) Submit(frame *raster.Gray) error {
 		return err
 	}
 	return nil
+}
+
+// SubmitContext is Submit with a deadline: both waits — the stream's
+// in-flight window and a full worker queue — give up when ctx expires, so a
+// stalled pool bounds the caller's latency instead of wedging it. The
+// claimed return says who owns the frame on error: false means the frame
+// never entered the stream's sequence and the caller keeps it; true means
+// its result (possibly an error result) will be delivered like any other —
+// exactly Submit's ErrClosed convention. A ctx with no deadline or
+// cancellation behaves identically to Submit.
+func (s *Stream) SubmitContext(ctx context.Context, frame *raster.Gray) (claimed bool, err error) {
+	if ctx.Done() == nil {
+		err := s.Submit(frame)
+		return err == nil || errors.Is(err, ErrClosed), err
+	}
+	if frame == nil {
+		return false, ErrNilFrame
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	// AfterFunc pokes the cond so a Submit parked on the window wakes up and
+	// notices the expired context.
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+
+	s.mu.Lock()
+	for s.inflight >= s.p.cfg.StreamWindow && !s.closed && ctx.Err() == nil {
+		s.cond.Wait()
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return false, ErrStreamClosed
+	}
+	if err := ctx.Err(); err != nil {
+		s.mu.Unlock()
+		return false, err
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	s.inflight++
+	s.mu.Unlock()
+
+	if err := s.p.enqueueCtx(ctx, job{st: s, seq: seq, frame: frame}); err != nil {
+		// Claimed: deliver the failure as a result so ordering has no hole.
+		s.complete(seq, frame, recognizer.Result{}, err)
+		return true, err
+	}
+	return true, nil
 }
 
 // Window returns the stream's in-flight frame bound (the pipeline's

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hdc/internal/failpoint"
 	"hdc/internal/raster"
 )
 
@@ -151,6 +152,13 @@ func (s *Source) forward() {
 		s.mu.Unlock()
 
 		if discard {
+			s.drop(f)
+			continue
+		}
+		// Ring-forward failpoint: a delay stalls the forwarder so the ring
+		// backs up and evicts (shedding under a wedged consumer); an error
+		// sheds this frame like any other drop.
+		if err := failpoint.Inject(failpoint.PipelineRingForward); err != nil {
 			s.drop(f)
 			continue
 		}

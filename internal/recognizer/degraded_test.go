@@ -1,0 +1,39 @@
+package recognizer
+
+import (
+	"testing"
+
+	"hdc/internal/body"
+	"hdc/internal/scene"
+)
+
+// TestRecognizeDegradedAtReference pins the degraded (stage-0-only) path:
+// at the calibrated reference view every sign must still come back under its
+// own label, with a bound no larger than the full path's exact distance and
+// the diagnostics the degraded path cannot provide left zero.
+func TestRecognizeDegradedAtReference(t *testing.T) {
+	rec, rend := newCalibrated(t)
+	for _, s := range body.AllSigns() {
+		frame, err := rend.Render(s, scene.ReferenceView(), body.Options{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := rec.Recognize(frame)
+		if err != nil {
+			t.Fatalf("%v full: %v", s, err)
+		}
+		deg, err := rec.RecognizeDegraded(frame)
+		if err != nil {
+			t.Fatalf("%v degraded: %v", s, err)
+		}
+		if !deg.OK || deg.Sign != s {
+			t.Fatalf("%v degraded verdict: %+v", s, deg)
+		}
+		if deg.Match.Dist > full.Match.Dist+1e-9 {
+			t.Fatalf("%v: bound %.4f exceeds exact %.4f", s, deg.Match.Dist, full.Match.Dist)
+		}
+		if deg.Confidence != 0 || deg.RunnerUp.Label != "" {
+			t.Fatalf("%v: degraded result carries full-path diagnostics: %+v", s, deg)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package sax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdc/internal/timeseries"
+)
+
+// degraded_test.go pins the stage-0-only answer: the histogram lower bound
+// of HistNearest must never exceed the exact distance of the full cascade's
+// winner, an exact stored series must come back under its own label, and
+// the geometry checks must refuse a mismatched query word.
+
+func degradedSeries(rng *rand.Rand, n int) timeseries.Series {
+	a1, a2 := rng.NormFloat64(), rng.NormFloat64()
+	p1, p2 := rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi
+	s := make(timeseries.Series, n)
+	for i := range s {
+		t := 2 * math.Pi * float64(i) / float64(n)
+		s[i] = 1 + 0.7*a1*math.Cos(t+p1) + 0.4*a2*math.Cos(3*t+p2) + 0.04*rng.NormFloat64()
+	}
+	return s
+}
+
+func TestHistNearestLowerBoundsExact(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(23))
+	enc, err := NewEncoder(16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDatabase(enc, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stored []timeseries.Series
+	for i := 0; i < 60; i++ {
+		s := degradedSeries(rng, n)
+		stored = append(stored, s)
+		if err := db.Add("sign-"+string(rune('a'+i%9)), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc := NewLookupScratch()
+	for qi := 0; qi < 20; qi++ {
+		q := degradedSeries(rng, n)
+		if qi%3 == 0 {
+			q = stored[rng.Intn(len(stored))].Clone()
+		}
+		z := q.ZNormalize()
+		w, err := enc.Encode(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deg, ok := db.NearestHist(sc, w)
+		if !ok {
+			t.Fatal("NearestHist found nothing on a populated database")
+		}
+		exact, err := db.LookupKZWith(sc, z, w, 1, nil)
+		if err != nil || len(exact) != 1 {
+			t.Fatalf("exact lookup: %v %v", exact, err)
+		}
+		if deg.Dist > exact[0].Dist+1e-9 {
+			t.Fatalf("query %d: stage-0 bound %.4f exceeds exact dist %.4f", qi, deg.Dist, exact[0].Dist)
+		}
+	}
+
+	// An exact stored series must come back under its own label with bound 0
+	// (its histogram equals the query's).
+	z := stored[7].ZNormalize()
+	w, err := enc.Encode(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, ok := db.NearestHist(sc, w)
+	if !ok || deg.Dist != 0 {
+		t.Fatalf("exact-entry degraded answer: %+v ok=%v", deg, ok)
+	}
+}
+
+func TestHistNearestRejectsGeometry(t *testing.T) {
+	enc, err := NewEncoder(16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDatabase(enc, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.NearestHist(nil, Word{}); ok {
+		t.Fatal("mismatched word accepted")
+	}
+	// Empty corpus: well-formed word, no entries.
+	w, err := enc.Encode(degradedSeries(rand.New(rand.NewSource(1)), 64).ZNormalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.NearestHist(nil, w); ok {
+		t.Fatal("empty database returned a match")
+	}
+}

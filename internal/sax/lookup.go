@@ -184,3 +184,10 @@ func (db *Database) LookupKZWith(sc *LookupScratch, z timeseries.Series, qw Word
 	wordWin, seriesWin, _ := db.params()
 	return CascadeLookupKZ(sc, &db.corpus, db.enc, db.n, wordWin, seriesWin, z, qw, k, dst)
 }
+
+// NearestHist runs only stage 0 over the database — the degraded-mode
+// answer; see HistNearest for the contract (Dist is a lower bound, not an
+// exact distance).
+func (db *Database) NearestHist(sc *LookupScratch, qw Word) (Match, bool) {
+	return HistNearest(sc, &db.corpus, db.enc, qw)
+}

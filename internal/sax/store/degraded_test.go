@@ -1,0 +1,48 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"hdc/internal/sax"
+)
+
+// TestNearestHistMatchesDatabase pins the degraded stage-0 answer to the
+// in-memory database's, across sealed + tail storage states — same
+// equivalence bar the full cascade is held to.
+func TestNearestHistMatchesDatabase(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	st, db := buildPair(t, rng, t.TempDir(), 40, 64, Options{})
+	defer st.Close()
+
+	check := func(ctx string) {
+		sc1, sc2 := sax.NewLookupScratch(), sax.NewLookupScratch()
+		for qi := 0; qi < 12; qi++ {
+			q := randSmoothSeries(rng, 64).ZNormalize()
+			w, err := st.enc.Encode(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sm, sok := st.NearestHist(sc1, w)
+			dm, dok := db.NearestHist(sc2, w)
+			if sok != dok || sm.Label != dm.Label || sm.Dist != dm.Dist {
+				t.Fatalf("%s query %d: store %+v/%v vs db %+v/%v", ctx, qi, sm, sok, dm, dok)
+			}
+		}
+	}
+	check("tail-only")
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	check("sealed")
+	for i := 0; i < 5; i++ {
+		s := randSmoothSeries(rng, 64)
+		if err := st.Add("extra", s); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Add("extra", s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("sealed+tail")
+}

@@ -1,0 +1,143 @@
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hdc/internal/failpoint"
+	"hdc/internal/sax"
+)
+
+// failpoint_test.go exercises the store's fault-injection hooks: a WAL
+// append failure must trip the sticky read-only state (and surface it on
+// ReadOnly/Stats), a compaction rename failure must abort cleanly without
+// poisoning the store, a post-commit segment reopen failure must go sticky,
+// and a lookup failpoint must propagate as a lookup error.
+
+func TestFailpointWALAppendGoesReadOnly(t *testing.T) {
+	defer failpoint.DisableAll()
+	rng := rand.New(rand.NewSource(7))
+	st, _ := buildPair(t, rng, t.TempDir(), 8, 64, Options{})
+	defer st.Close()
+
+	if ro, _ := st.ReadOnly(); ro {
+		t.Fatal("fresh store read-only")
+	}
+	if err := failpoint.Enable(failpoint.StoreWALAppend, "error(enospc)"); err != nil {
+		t.Fatal(err)
+	}
+	err := st.Add("sign-x", randSmoothSeries(rng, 64))
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("Add under failpoint: %v", err)
+	}
+	failpoint.DisableAll()
+
+	ro, cause := st.ReadOnly()
+	if !ro || cause == nil || !strings.Contains(cause.Error(), "enospc") {
+		t.Fatalf("ReadOnly = %v, %v", ro, cause)
+	}
+	stats := st.Stats()
+	if !stats.ReadOnly || !strings.Contains(stats.FailedErr, "enospc") {
+		t.Fatalf("Stats read-only not surfaced: %+v", stats)
+	}
+	// Sticky: even with the failpoint gone, writes refuse...
+	if err := st.Add("sign-y", randSmoothSeries(rng, 64)); err == nil {
+		t.Fatal("Add after sticky failure succeeded")
+	}
+	if err := st.Compact(); err == nil {
+		t.Fatal("Compact after sticky failure succeeded")
+	}
+	// ...but lookups keep serving.
+	q := randSmoothSeries(rng, 64).ZNormalize()
+	w, err := st.enc.Encode(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LookupKZWith(sax.NewLookupScratch(), q, w, 1, nil); err != nil {
+		t.Fatalf("lookup on read-only store: %v", err)
+	}
+}
+
+func TestFailpointCompactRenameAborts(t *testing.T) {
+	defer failpoint.DisableAll()
+	rng := rand.New(rand.NewSource(11))
+	st, _ := buildPair(t, rng, t.TempDir(), 10, 64, Options{})
+	defer st.Close()
+
+	if err := failpoint.Enable(failpoint.StoreCompactRename, "1*error(rename blocked)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Compact(); err == nil || !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("Compact under rename failpoint: %v", err)
+	}
+	// Pre-commit failure: the store must stay healthy and retry cleanly.
+	if ro, _ := st.ReadOnly(); ro {
+		t.Fatal("pre-commit compaction failure went sticky")
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatalf("retry compact: %v", err)
+	}
+	if stats := st.Stats(); stats.Tail != 0 || stats.Sealed != 10 {
+		t.Fatalf("after retry: %+v", stats)
+	}
+}
+
+func TestFailpointSegmentReopenGoesSticky(t *testing.T) {
+	defer failpoint.DisableAll()
+	rng := rand.New(rand.NewSource(13))
+	st, _ := buildPair(t, rng, t.TempDir(), 10, 64, Options{})
+	defer st.Close()
+
+	// The reopen of the freshly sealed segment happens after the manifest
+	// commit; failing it must mark the store failed (disk is ahead of
+	// memory), and a reopen from disk must recover.
+	if err := failpoint.Enable(failpoint.StoreSegmentOpen, "1*error(mmap refused)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Compact(); err == nil {
+		t.Fatal("Compact survived segment-open failpoint")
+	}
+	if ro, _ := st.ReadOnly(); !ro {
+		t.Fatal("post-commit reopen failure did not go sticky")
+	}
+	failpoint.DisableAll()
+
+	dir := st.Stats().Dir
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after sticky failure: %v", err)
+	}
+	defer st2.Close()
+	if got := st2.Stats().Entries; got != 10 {
+		t.Fatalf("entries after recovery = %d", got)
+	}
+}
+
+func TestFailpointLookupError(t *testing.T) {
+	defer failpoint.DisableAll()
+	rng := rand.New(rand.NewSource(17))
+	st, _ := buildPair(t, rng, t.TempDir(), 6, 64, Options{})
+	defer st.Close()
+
+	q := randSmoothSeries(rng, 64).ZNormalize()
+	w, err := st.enc.Encode(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Enable(failpoint.StoreLookup, "error(stalled)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LookupKZWith(sax.NewLookupScratch(), q, w, 2, nil); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("lookup under failpoint: %v", err)
+	}
+	failpoint.DisableAll()
+	got, err := st.LookupKZWith(sax.NewLookupScratch(), q, w, 2, nil)
+	if err != nil || len(got) == 0 {
+		t.Fatalf("lookup after disable: %v %v", got, err)
+	}
+}

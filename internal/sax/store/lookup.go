@@ -1,6 +1,7 @@
 package store
 
 import (
+	"hdc/internal/failpoint"
 	"hdc/internal/sax"
 	"hdc/internal/timeseries"
 )
@@ -100,6 +101,12 @@ func (lv *lookupView) View(sc *sax.LookupScratch, ref uint64) sax.EntryView {
 // Returned matches' Word fields are zero-copy views into the store's mapped
 // memory: they stay valid until the store is closed.
 func (s *Store) LookupKZWith(sc *sax.LookupScratch, z timeseries.Series, qw sax.Word, k int, dst []sax.Match) ([]sax.Match, error) {
+	// The "store stall" site: a delay policy here models a slow disk/page
+	// fault under the full cascade; the degraded stage-0 path does not pass
+	// through it.
+	if err := failpoint.Inject(failpoint.StoreLookup); err != nil {
+		return dst[:0], err
+	}
 	lv := s.viewPool.Get().(*lookupView)
 	lv.s = s
 	s.mu.RLock()
@@ -111,6 +118,24 @@ func (s *Store) LookupKZWith(sc *sax.LookupScratch, z timeseries.Series, qw sax.
 	lv.tail = nil
 	s.viewPool.Put(lv)
 	return dst, err
+}
+
+// NearestHist runs only stage 0 over the store's mapped prune index plus
+// the in-memory tail — the degraded-mode answer; see sax.HistNearest for
+// the contract (Dist is a lower bound, not an exact distance). It does not
+// pass through the store/lookup failpoint: the degraded path exists to keep
+// answering while the full lookup path is stalled.
+func (s *Store) NearestHist(sc *sax.LookupScratch, qw sax.Word) (sax.Match, bool) {
+	lv := s.viewPool.Get().(*lookupView)
+	lv.s = s
+	s.mu.RLock()
+	lv.segs = append(lv.segs[:0], s.segs...)
+	lv.tail = s.tail
+	s.mu.RUnlock()
+	m, ok := sax.HistNearest(sc, lv, s.enc, qw)
+	lv.tail = nil
+	s.viewPool.Put(lv)
+	return m, ok
 }
 
 // LookupZWith finds the single nearest entry under an acceptance threshold —

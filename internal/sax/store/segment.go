@@ -9,6 +9,7 @@ import (
 	"math"
 	"os"
 
+	"hdc/internal/failpoint"
 	"hdc/internal/timeseries"
 )
 
@@ -103,6 +104,9 @@ func corrupt(file, format string, a ...any) error {
 // everything needed so lookups over the views cannot fault; the body CRC is
 // left to CheckIntegrity.
 func openSegment(path string, p segParams) (*segment, error) {
+	if err := failpoint.Inject(failpoint.StoreSegmentOpen); err != nil {
+		return nil, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {

@@ -38,6 +38,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hdc/internal/failpoint"
 	"hdc/internal/sax"
 	"hdc/internal/timeseries"
 )
@@ -329,7 +330,11 @@ func (s *Store) Add(label string, series timeseries.Series) error {
 		return fmt.Errorf("store: unusable after earlier failure: %w", err)
 	}
 	seq := s.nextSeq
-	if err := s.w.append(seq, label, w.Symbols, z); err != nil {
+	err = failpoint.Inject(failpoint.StoreWALAppend)
+	if err == nil {
+		err = s.w.append(seq, label, w.Symbols, z)
+	}
+	if err != nil {
 		// A partial record may now sit at the log's end. Appending after it
 		// would bury acknowledged records behind a tear that recovery
 		// truncates, so the store goes read-only instead.
@@ -422,9 +427,13 @@ func (s *Store) compact(full bool) error {
 		return fmt.Errorf("store: compact: %w", err)
 	}
 	final := filepath.Join(s.dir, name)
-	if err := s.renameFn(tmp, final); err != nil {
+	renameErr := failpoint.Inject(failpoint.StoreCompactRename)
+	if renameErr == nil {
+		renameErr = s.renameFn(tmp, final)
+	}
+	if renameErr != nil {
 		_ = os.Remove(tmp)
-		return fmt.Errorf("store: compact: %w", err)
+		return fmt.Errorf("store: compact: %w", renameErr)
 	}
 	if err := syncDir(s.dir); err != nil {
 		return fmt.Errorf("store: compact: %w", err)
@@ -512,6 +521,17 @@ func (s *Store) fail(err error) error {
 	s.failed = err
 	s.mu.Unlock()
 	return err
+}
+
+// ReadOnly reports whether the store has gone sticky read-only after a
+// write failure (WAL append, post-commit compaction step), along with the
+// error that tripped it. Lookups keep working; Add and Compact refuse. The
+// server's readiness endpoint and /statsz surface this so a degraded store
+// is visible to operators, not just to the caller whose Add failed.
+func (s *Store) ReadOnly() (bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.failed != nil, s.failed
 }
 
 // Close releases the store: it drains any in-flight background compaction,
@@ -624,6 +644,10 @@ func (s *Store) Stats() Stats {
 	if msg := s.compactErr.Load(); msg != nil {
 		st.LastCompactErr = *msg
 	}
+	if s.failed != nil {
+		st.ReadOnly = true
+		st.FailedErr = s.failed.Error()
+	}
 	return st
 }
 
@@ -648,6 +672,10 @@ type Stats struct {
 	WALBytes       int64          `json:"wal_bytes"`
 	DiskBytes      int64          `json:"disk_bytes"`
 	LastCompactErr string         `json:"last_compact_err,omitempty"`
+	// ReadOnly/FailedErr surface the sticky write-failure state (see
+	// Store.ReadOnly) to /statsz and operators.
+	ReadOnly  bool   `json:"read_only,omitempty"`
+	FailedErr string `json:"failed_err,omitempty"`
 }
 
 // Snapshot is the replica-shipping unit: the manifest state and sealed

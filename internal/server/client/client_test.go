@@ -1,0 +1,207 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hdc/internal/raster"
+	"hdc/internal/server"
+	"hdc/internal/server/client"
+)
+
+// client_test.go pins the client's dependability behaviour against scripted
+// fake servers: retry/backoff on transient failures, no retries on client
+// mistakes or stream submissions, Retry-After honoured, the circuit breaker
+// opening after consecutive failures, per-attempt timeouts, and deadline
+// forwarding. The real end-to-end behaviour against a live service is
+// covered by the server package's tests.
+
+// fastOptions keeps retries snappy for tests.
+func fastOptions() client.Options {
+	return client.Options{
+		Timeout:     2 * time.Second,
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+	}
+}
+
+// scriptedServer answers with the scripted status codes in order, then 200
+// with an empty JSON object.
+func scriptedServer(t *testing.T, calls *atomic.Int64, statuses ...int) *httptest.Server {
+	t.Helper()
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if int(n) <= len(statuses) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(statuses[n-1])
+			_, _ = w.Write([]byte(`{"error":"scripted"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{}`))
+	}))
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+func TestRetriesTransientThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	hs := scriptedServer(t, &calls, http.StatusServiceUnavailable, http.StatusBadGateway)
+	c := client.NewWithOptions(hs.URL, fastOptions())
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("healthz after transient failures: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("attempts: %d, want 3", calls.Load())
+	}
+}
+
+func TestNoRetryOnClientError(t *testing.T) {
+	var calls atomic.Int64
+	hs := scriptedServer(t, &calls, http.StatusBadRequest, http.StatusBadRequest, http.StatusBadRequest)
+	c := client.NewWithOptions(hs.URL, fastOptions())
+	err := c.Healthz(context.Background())
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("got %v, want 400 APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("attempts: %d, want 1 (no retry on 400)", calls.Load())
+	}
+}
+
+func TestRetryAfterHonoured(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"error":"overloaded"}`))
+			return
+		}
+		_, _ = w.Write([]byte(`{}`))
+	}))
+	defer hs.Close()
+	c := client.NewWithOptions(hs.URL, fastOptions())
+	t0 := time.Now()
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(t0); el < 900*time.Millisecond {
+		t.Fatalf("retried after %v, want ≥ the server's Retry-After: 1s", el)
+	}
+}
+
+func TestCircuitBreakerOpens(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":"down"}`))
+	}))
+	defer hs.Close()
+	o := fastOptions()
+	o.MaxAttempts = 1
+	o.BreakerThreshold = 2
+	o.BreakerCooldown = time.Hour
+	c := client.NewWithOptions(hs.URL, o)
+	for i := 0; i < 2; i++ {
+		if err := c.Healthz(context.Background()); err == nil {
+			t.Fatal("healthz succeeded against a dead server")
+		}
+	}
+	err := c.Healthz(context.Background())
+	if !errors.Is(err, client.ErrCircuitOpen) {
+		t.Fatalf("third call: %v, want ErrCircuitOpen", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2 (breaker short-circuits)", calls.Load())
+	}
+}
+
+func TestPerAttemptTimeout(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer hs.Close()
+	defer close(release)
+	o := fastOptions()
+	o.Timeout = 50 * time.Millisecond
+	o.MaxAttempts = 2
+	// The overall transport timeout would otherwise fire first; leave the
+	// per-attempt context in charge.
+	o.HTTPClient = &http.Client{}
+	c := client.NewWithOptions(hs.URL, o)
+	t0 := time.Now()
+	err := c.Healthz(context.Background())
+	if err == nil {
+		t.Fatal("healthz succeeded against a hung server")
+	}
+	if el := time.Since(t0); el > 2*time.Second {
+		t.Fatalf("attempts not bounded by per-attempt timeout: %v", el)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("attempts: %d, want 2", calls.Load())
+	}
+}
+
+func TestStreamSubmitNeverRetries(t *testing.T) {
+	var frames atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/streams" {
+			_, _ = w.Write([]byte(`{"id":"s1","window":4}`))
+			return
+		}
+		frames.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":"draining"}`))
+	}))
+	defer hs.Close()
+	c := client.NewWithOptions(hs.URL, fastOptions())
+	st, err := c.OpenStream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := raster.NewGray(8, 8)
+	if _, err := st.Submit(context.Background(), g); err == nil {
+		t.Fatal("submit succeeded against a draining server")
+	}
+	if frames.Load() != 1 {
+		t.Fatalf("frame submits: %d, want 1 (stream submissions must not retry)", frames.Load())
+	}
+}
+
+func TestDeadlineForwarded(t *testing.T) {
+	var gotMs atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h := r.Header.Get(server.DeadlineHeader); h != "" {
+			ms, _ := strconv.Atoi(h)
+			gotMs.Store(int64(ms))
+		}
+		_, _ = w.Write([]byte(`{"results":[{"ok":true}]}`))
+	}))
+	defer hs.Close()
+	c := client.NewWithOptions(hs.URL, fastOptions())
+	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+	g, _ := raster.NewGray(8, 8)
+	if _, err := c.RecognizeBatch(ctx, []*raster.Gray{g}); err != nil {
+		t.Fatal(err)
+	}
+	if ms := gotMs.Load(); ms <= 0 || ms > 400 {
+		t.Fatalf("forwarded deadline %dms, want within (0, 400]", ms)
+	}
+}

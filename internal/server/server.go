@@ -40,8 +40,8 @@ import (
 	"time"
 
 	"hdc/internal/core"
+	"hdc/internal/failpoint"
 	"hdc/internal/gesture"
-	"hdc/internal/pipeline"
 	"hdc/internal/raster"
 	"hdc/internal/sax/store"
 )
@@ -68,9 +68,24 @@ type Options struct {
 	// Store, when set, is the on-disk sign dictionary backing the system's
 	// recognizer (internal/sax/store). The server does not own it — the
 	// process that opened it closes it after shutdown — but /statsz reports
-	// its shape (segments, tail, WAL backlog, compaction health) so an
-	// operator can watch a drone's dictionary alongside its pool.
+	// its shape (segments, tail, WAL backlog, compaction health), and a
+	// store latched read-only (sticky write failure) drops the replica out
+	// of readiness and flips recognition to degraded stage-0 answers.
 	Store *store.Store
+	// MaxInflightFrames is the admission-control cap: the total frames
+	// allowed in recognize/batch/stream-frames requests at once (default
+	// 1024). A request that would cross it answers 429 with Retry-After so
+	// overload sheds at the door instead of queueing unboundedly.
+	MaxInflightFrames int
+	// DegradeWatermark is the pool-queue occupancy fraction (default 0.75)
+	// past which /v1/recognize and /v1/batch answer from the cascade's
+	// cheap stage-0 path, marked degraded:true, instead of joining the
+	// backlog. ≥1 never triggers on queue depth (a read-only store still
+	// degrades).
+	DegradeWatermark float64
+	// DebugFailpoints mounts /failpointz (list/arm/disarm fault-injection
+	// points). Debug builds and chaos drills only — never production.
+	DebugFailpoints bool
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -84,6 +99,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StreamIdleTimeout <= 0 {
 		o.StreamIdleTimeout = 2 * time.Minute
+	}
+	if o.MaxInflightFrames <= 0 {
+		o.MaxInflightFrames = 1024
+	}
+	if o.DegradeWatermark <= 0 {
+		o.DegradeWatermark = 0.75
 	}
 	if o.now == nil {
 		o.now = time.Now
@@ -102,6 +123,10 @@ type Server struct {
 	sessions  *sessionTable
 	started   time.Time
 	draining  atomic.Bool
+
+	inflight atomic.Int64  // admission-control frame budget currently out
+	rejected atomic.Uint64 // requests refused with 429
+	degraded atomic.Uint64 // frames answered from the stage-0 path
 
 	statRecognize endpointStats
 	statBatch     endpointStats
@@ -136,7 +161,13 @@ func New(sys *core.System, opts Options) *Server {
 		s.mux.HandleFunc("DELETE /v1/gesture/streams/{id}", s.handleGestureStreamDelete)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /livez", s.handleLivez)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	if s.opts.DebugFailpoints {
+		s.mux.HandleFunc("GET /failpointz", s.handleFailpointz)
+		s.mux.HandleFunc("POST /failpointz", s.handleFailpointz)
+	}
 	return s
 }
 
@@ -182,51 +213,66 @@ func (s *Server) instrument(st *endpointStats, h func(http.ResponseWriter, *http
 
 // handleRecognize answers POST /v1/recognize: one frame in, one verdict out.
 func (s *Server) handleRecognize(w http.ResponseWriter, r *http.Request) (int, bool) {
-	if !s.acceptingWork() {
-		writeError(w, http.StatusServiceUnavailable, errDraining)
-		return 0, true
-	}
-	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
-	frames, err := decodeFrames(r, &s.framePool, 1, true)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return 0, true
-	}
-	defer releaseFrames(&s.framePool, frames)
-	results, errs, err := s.sys.RecognizeBatch(frames)
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, errDraining)
-		return 1, true
-	}
-	writeJSON(w, http.StatusOK, resultToWire(results[0], errs[0]))
-	return 1, false
+	return s.recognizeFrames(w, r, 1, true)
 }
 
 // handleBatch answers POST /v1/batch: an ordered batch through the shared
 // pool, one result slot per frame in input order.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (int, bool) {
+	return s.recognizeFrames(w, r, s.opts.MaxBatch, false)
+}
+
+// recognizeFrames is the shared body of /v1/recognize and /v1/batch: decode,
+// admission, deadline, then either the full pool path or — under overload or
+// a read-only store — the degraded stage-0 path on the request goroutine.
+func (s *Server) recognizeFrames(w http.ResponseWriter, r *http.Request, maxBatch int, single bool) (int, bool) {
 	if !s.acceptingWork() {
 		writeError(w, http.StatusServiceUnavailable, errDraining)
 		return 0, true
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
-	frames, err := decodeFrames(r, &s.framePool, s.opts.MaxBatch, false)
+	frames, err := decodeFrames(r, &s.framePool, maxBatch, single)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return 0, true
 	}
-	defer releaseFrames(&s.framePool, frames)
-	results, errs, err := s.sys.RecognizeBatch(frames)
+	ctx, cancel, err := requestContext(r)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, errDraining)
-		return len(frames), true
+		releaseFrames(&s.framePool, frames)
+		writeError(w, http.StatusBadRequest, err)
+		return 0, true
 	}
-	out := batchResponse{Results: make([]FrameResult, len(frames))}
-	for i := range frames {
-		out.Results[i] = resultToWire(results[i], errs[i])
+	defer cancel()
+	n := len(frames)
+	if !s.admit(n) {
+		releaseFrames(&s.framePool, frames)
+		writeOverloaded(w)
+		return 0, true
 	}
-	writeJSON(w, http.StatusOK, out)
-	return len(frames), false
+	defer s.unadmit(n)
+
+	var results []FrameResult
+	if s.shouldDegrade() {
+		results = s.recognizeDegraded(frames)
+	} else {
+		res, errs, err := s.sys.RecognizeBatchContext(ctx, frames, s.framePool.Put)
+		if err != nil {
+			// Top-level refusal: no frame was consumed, so they are still ours.
+			releaseFrames(&s.framePool, frames)
+			writeError(w, http.StatusServiceUnavailable, errDraining)
+			return n, true
+		}
+		results = make([]FrameResult, n)
+		for i := range results {
+			results[i] = resultToWire(res[i], errs[i])
+		}
+	}
+	if single {
+		writeJSON(w, http.StatusOK, results[0])
+		return 1, false
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Results: results})
+	return n, false
 }
 
 // handleStreamCreate answers POST /v1/streams: opens an ordered session on
@@ -234,6 +280,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (int, bool)
 func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 	if !s.acceptingWork() {
 		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	if err := failpoint.Inject(failpoint.ServerSession); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	st, err := s.sys.NewStream()
@@ -294,7 +344,11 @@ func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
 // frames enter the session's stream in order and the response carries their
 // results, still in order. Requests on one session are serialised; the
 // stream's in-flight window applies back-pressure by blocking Submit (and
-// therefore the request) rather than buffering unboundedly.
+// therefore the request) rather than buffering unboundedly. A DeadlineHeader
+// budget bounds that blocking: when it expires the session is sacrificed
+// (ordered streams cannot skip frames, so the only way to honour the
+// deadline is to abandon the stream) and the response's unfinished tail is
+// marked "deadline".
 func (s *Server) handleStreamFrames(w http.ResponseWriter, r *http.Request) (int, bool) {
 	sess, ok := s.getRecognitionSession(r.PathValue("id"))
 	if !ok {
@@ -307,6 +361,19 @@ func (s *Server) handleStreamFrames(w http.ResponseWriter, r *http.Request) (int
 		writeError(w, http.StatusBadRequest, err)
 		return 0, true
 	}
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		releaseFrames(&s.framePool, frames)
+		writeError(w, http.StatusBadRequest, err)
+		return 0, true
+	}
+	defer cancel()
+	if !s.admit(len(frames)) {
+		releaseFrames(&s.framePool, frames)
+		writeOverloaded(w)
+		return 0, true
+	}
+	defer s.unadmit(len(frames))
 
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
@@ -328,15 +395,13 @@ func (s *Server) handleStreamFrames(w http.ResponseWriter, r *http.Request) (int
 	go func() {
 		claimed := 0
 		for _, f := range frames {
-			err := sess.st.Submit(f)
-			if err == nil {
+			ok, err := sess.st.SubmitContext(ctx, f)
+			if ok {
 				claimed++
-				continue
 			}
-			if errors.Is(err, pipeline.ErrClosed) {
-				claimed++ // sequence claimed; error result en route
+			if err != nil {
+				break
 			}
-			break
 		}
 		claimedCh <- claimed
 	}()
@@ -345,6 +410,7 @@ func (s *Server) handleStreamFrames(w http.ResponseWriter, r *http.Request) (int
 	results := sess.st.Results()
 	collected := 0
 	claimed := -1
+	expired := false
 	pending := claimedCh
 collect:
 	for claimed < 0 || collected < claimed {
@@ -362,27 +428,40 @@ collect:
 		case c := <-pending:
 			claimed = c
 			pending = nil // the goroutine sends exactly once
+		case <-ctx.Done():
+			// Deadline mid-collect: sacrifice the session. Abandon routes the
+			// claimed-but-undelivered frames to the drop hook (which recycles
+			// them) and unblocks the submit goroutine's window waits.
+			expired = true
+			sess.closed = true
+			sess.st.Abandon()
+			s.sessions.remove(sess.id)
+			break collect
 		}
 	}
 	if claimed < 0 {
 		claimed = <-claimedCh
 	}
-	// Frames past claimed never entered the stream; answer them as draining
-	// and recycle their buffers ourselves. Claimed-but-undelivered frames
-	// (possible only if the stream was abandoned under us) belong to the
-	// stream's drop hook — recycling them here too would double-free.
+	// Frames past claimed never entered the stream; answer them and recycle
+	// their buffers ourselves. Claimed-but-undelivered frames (possible only
+	// if the stream was abandoned under us) belong to the stream's drop hook
+	// — recycling them here too would double-free.
+	tailErr := ErrValueDraining
+	if expired {
+		tailErr = ErrValueDeadline
+	}
 	for i := collected; i < len(frames); i++ {
-		out.Results[i] = FrameResult{Err: ErrValueDraining}
+		out.Results[i] = FrameResult{Err: tailErr}
 		if i >= claimed {
 			s.framePool.Put(frames[i])
 		}
 	}
 	sess.submitted.Add(uint64(claimed))
 	// Partial results are still results: the response is 200 with the
-	// undeliverable tail marked draining, so an operator mid-stream can tell
-	// exactly which frames made it.
+	// undeliverable tail marked, so an operator mid-stream can tell exactly
+	// which frames made it.
 	writeJSON(w, http.StatusOK, out)
-	return len(frames), claimed < len(frames)
+	return len(frames), collected < len(frames)
 }
 
 // handleHealthz answers GET /healthz.
@@ -402,6 +481,14 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		UptimeS:  s.opts.now().Sub(s.started).Seconds(),
 		Draining: s.draining.Load(),
+		Admission: AdmissionSnapshot{
+			InflightFrames:    s.inflight.Load(),
+			MaxInflightFrames: s.opts.MaxInflightFrames,
+			Rejected:          s.rejected.Load(),
+			DegradedFrames:    s.degraded.Load(),
+			Overloaded:        s.overloaded(),
+			StoreReadOnly:     s.storeReadOnly(),
+		},
 		Pool: PoolSnapshot{
 			Started:        started,
 			Closed:         pool.Closed,

@@ -186,12 +186,30 @@ type MemSnapshot struct {
 	Goroutines      int    `json:"goroutines"`
 }
 
+// AdmissionSnapshot is the dependability layer's state on the wire:
+// admission-control occupancy, the shed/degrade counters, and the
+// overload/read-only signals that flip answers to the degraded path. A
+// growing Rejected under steady load means the in-flight cap is the
+// bottleneck; a nonzero Degraded means clients have been receiving stage-0
+// answers (marked degraded:true per result).
+type AdmissionSnapshot struct {
+	InflightFrames    int64  `json:"inflight_frames"`
+	MaxInflightFrames int    `json:"max_inflight_frames"`
+	Rejected          uint64 `json:"rejected"`
+	DegradedFrames    uint64 `json:"degraded_frames"`
+	Overloaded        bool   `json:"overloaded"`
+	StoreReadOnly     bool   `json:"store_read_only"`
+}
+
 // StatsResponse is the /statsz body. Store is present only when the process
 // serves from an on-disk dictionary (Options.Store): its segment/tail/WAL
-// shape is the signal that compaction is keeping up with appends.
+// shape is the signal that compaction is keeping up with appends, and its
+// ReadOnly flag is the sticky write-failure latch that also drops the
+// replica out of readiness.
 type StatsResponse struct {
 	UptimeS   float64                     `json:"uptime_s"`
 	Draining  bool                        `json:"draining"`
+	Admission AdmissionSnapshot           `json:"admission"`
 	Pool      PoolSnapshot                `json:"pool"`
 	FramePool FramePoolSnapshot           `json:"frame_pool"`
 	Sessions  SessionSnapshot             `json:"sessions"`

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"hdc/internal/failpoint"
 	"hdc/internal/pipeline"
 	"hdc/internal/raster"
 	"hdc/internal/recognizer"
@@ -71,16 +73,24 @@ type FrameResult struct {
 	RunnerUpDist float64 `json:"runner_up_dist,omitempty"`
 	// Err is "" on an accepted sign, "no_sign" when the frame held no
 	// recognisable sign, "draining" when the pool shut down under the
-	// request, or the error text otherwise.
+	// request, "deadline" when the request's X-Deadline-Ms budget expired
+	// before this frame finished, or the error text otherwise.
 	Err string `json:"error,omitempty"`
+	// Degraded marks a verdict served from the cascade's stage-0 path
+	// (overload or read-only store): Dist is a lower bound, not an exact
+	// distance, and the rival diagnostics are absent. See DESIGN.md §"The
+	// dependability layer".
+	Degraded bool `json:"degraded,omitempty"`
 	// LatencyNS is the recogniser's end-to-end stage time for this frame.
 	LatencyNS int64 `json:"latency_ns,omitempty"`
 }
 
-// ErrValueNoSign and ErrValueDraining are the reserved FrameResult.Err values.
+// ErrValueNoSign, ErrValueDraining and ErrValueDeadline are the reserved
+// FrameResult.Err values.
 const (
 	ErrValueNoSign   = "no_sign"
 	ErrValueDraining = "draining"
+	ErrValueDeadline = "deadline"
 )
 
 // batchResponse is the JSON body answering batch and stream-frame requests.
@@ -129,6 +139,8 @@ func resultToWire(res recognizer.Result, err error) FrameResult {
 	case err == nil:
 	case errors.Is(err, recognizer.ErrNoSign):
 		out.Err = ErrValueNoSign
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		out.Err = ErrValueDeadline
 	case errors.Is(err, pipeline.ErrClosed), errors.Is(err, pipeline.ErrStreamClosed):
 		out.Err = ErrValueDraining
 	default:
@@ -161,6 +173,9 @@ func frameGeometry(w, h int) error {
 // Every returned frame must be handed back with pool.Put once its result is
 // out — the caller owns that lifecycle. maxBatch bounds the frame count.
 func decodeFrames(r *http.Request, pool *raster.Pool, maxBatch int, single bool) ([]*raster.Gray, error) {
+	if err := failpoint.Inject(failpoint.ServerDecode); err != nil {
+		return nil, err
+	}
 	ct := r.Header.Get("Content-Type")
 	switch {
 	case ct == "application/octet-stream":
