@@ -27,6 +27,7 @@ import (
 	"hdc/internal/sax"
 	"hdc/internal/scene"
 	"hdc/internal/timeseries"
+	"hdc/internal/trace"
 	"hdc/internal/vision"
 )
 
@@ -460,6 +461,59 @@ func BenchmarkIngestRing(b *testing.B) {
 	b.StopTimer()
 	src.Close()
 	st.Close()
+}
+
+// BenchmarkStageBreakdown — the per-stage latency medians of the streaming
+// pipeline, read back from the always-on trace aggregates rather than timed
+// here: the parent drives a fixed batch through a traced pool, then each
+// sub-benchmark reports its stage's p50 via ReportMetric. These lines are
+// in the benchgate key set, which is what lets a tripped CI perf gate name
+// the regressed stage (cmd/benchgate's "regressed stage:" failure output)
+// instead of just reporting that the geomean moved.
+func BenchmarkStageBreakdown(b *testing.B) {
+	rec, rend := mustPipeline(b)
+	frame := mustFrame(b, rend, body.SignNo, scene.ReferenceView())
+	p, err := pipeline.New(rec, pipeline.Config{Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+
+	const frames = 64
+	batch := make([]*raster.Gray, frames)
+	for i := range batch {
+		batch[i] = frame
+	}
+	if _, _, err := p.RecognizeBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	// The deliver terminal is stamped by the emit goroutine just after the
+	// collector reads the result, so give the tail a moment to settle.
+	tr := p.Tracer()
+	deadline := time.Now().Add(2 * time.Second)
+	for tr.Snapshot(0).Totals.Delivered < frames && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	snap := tr.Snapshot(0)
+	byStage := make(map[string]int64, len(snap.Stages))
+	for _, sp := range snap.Stages {
+		if sp.Count > 0 {
+			byStage[sp.Stage] = sp.P50Ns
+		}
+	}
+	for _, name := range trace.SpanNames() {
+		p50, ok := byStage[name]
+		if !ok {
+			continue // no ingest ring on the batch path
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// The measurement already happened in the traced batch above;
+				// the loop only satisfies the benchmark contract.
+			}
+			b.ReportMetric(float64(p50), "ns/op")
+		})
+	}
 }
 
 // BenchmarkE16FleetPartition — fleet extension: trap partitioning across

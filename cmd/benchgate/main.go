@@ -70,29 +70,35 @@ func gate(baselinePath, currentPath string, threshold float64, stdout io.Writer)
 		return fmt.Errorf("no benchmark results in %s", currentPath)
 	}
 
-	names := make([]string, 0, len(base))
+	rows := make([]benchRow, 0, len(base))
 	for name := range base {
 		if _, ok := cur[name]; ok {
-			names = append(names, name)
+			b := median(base[name])
+			c := median(cur[name])
+			rows = append(rows, benchRow{name: name, base: b, cur: c, ratio: c / b})
 		}
 	}
-	sort.Strings(names)
-	if len(names) == 0 {
+	if len(rows) == 0 {
 		return fmt.Errorf("baseline and current share no benchmarks")
 	}
+	// Worst regression first: when the gate trips, the top of the table is
+	// the bisect starting point.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].ratio != rows[j].ratio {
+			return rows[i].ratio > rows[j].ratio
+		}
+		return rows[i].name < rows[j].name
+	})
 
 	logSum := 0.0
 	fmt.Fprintf(stdout, "%-60s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio")
-	for _, name := range names {
-		b := median(base[name])
-		c := median(cur[name])
-		ratio := c / b
-		logSum += math.Log(ratio)
-		fmt.Fprintf(stdout, "%-60s %14.0f %14.0f %8.3f\n", name, b, c, ratio)
+	for _, r := range rows {
+		logSum += math.Log(r.ratio)
+		fmt.Fprintf(stdout, "%-60s %14.0f %14.0f %8.3f\n", r.name, r.base, r.cur, r.ratio)
 	}
-	geomean := math.Exp(logSum / float64(len(names)))
+	geomean := math.Exp(logSum / float64(len(rows)))
 	fmt.Fprintf(stdout, "geomean ratio over %d shared benchmarks: %.3f (threshold %.3f)\n",
-		len(names), geomean, threshold)
+		len(rows), geomean, threshold)
 
 	for name := range base {
 		if _, ok := cur[name]; !ok {
@@ -106,10 +112,41 @@ func gate(baselinePath, currentPath string, threshold float64, stdout io.Writer)
 	}
 
 	if geomean > threshold {
-		return fmt.Errorf("geomean ratio %.3f exceeds threshold %.3f — perf regression", geomean, threshold)
+		worst := rows[0]
+		msg := fmt.Sprintf("geomean ratio %.3f exceeds threshold %.3f — perf regression; worst offender: %s (%.3f× baseline)",
+			geomean, threshold, worst.name, worst.ratio)
+		if stage, ratio, ok := worstStage(rows); ok {
+			msg += fmt.Sprintf("; regressed stage: %s (%.3f× baseline)", stage, ratio)
+		}
+		return fmt.Errorf("%s", msg)
 	}
 	fmt.Fprintln(stdout, "benchgate: PASS")
 	return nil
+}
+
+// benchRow is one shared benchmark's baseline/current medians.
+type benchRow struct {
+	name      string
+	base, cur float64
+	ratio     float64
+}
+
+// stageBreakdownPrefix marks the per-stage sub-benchmarks emitted from the
+// pipeline's trace aggregates (BenchmarkStageBreakdown/binarize and
+// friends). When these are in the key set, a tripped gate can name the
+// pipeline stage whose median moved instead of leaving CI at "something got
+// slower".
+const stageBreakdownPrefix = "BenchmarkStageBreakdown/"
+
+// worstStage returns the most-regressed per-stage sub-benchmark, if the
+// compared files carry any.
+func worstStage(rows []benchRow) (stage string, ratio float64, ok bool) {
+	for _, r := range rows { // rows are sorted worst-first
+		if strings.HasPrefix(r.name, stageBreakdownPrefix) {
+			return strings.TrimPrefix(r.name, stageBreakdownPrefix), r.ratio, true
+		}
+	}
+	return "", 0, false
 }
 
 // loadBench parses a `go test -bench` output file into name → ns/op samples.
@@ -147,6 +184,12 @@ func parseBenchLine(line string) (string, float64, bool) {
 		return "", 0, false
 	}
 	// fields: name, iterations, value, unit, [more pairs...]
+	// A zero-iteration line (a benchmark that failed or was skipped before
+	// its first iteration) carries no measurement; feeding its ns/op into a
+	// median would poison the gate, so drop it here.
+	if iters, err := strconv.ParseInt(fields[1], 10, 64); err != nil || iters <= 0 {
+		return "", 0, false
+	}
 	var nsop float64
 	found := false
 	for i := 2; i+1 < len(fields); i += 2 {

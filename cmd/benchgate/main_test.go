@@ -115,6 +115,96 @@ func TestDisjointNamesReportedNotGated(t *testing.T) {
 	}
 }
 
+// TestZeroIterationLinesIgnored: a benchmark line reporting zero iterations
+// carries no measurement and must be dropped by the parser — present in
+// only one file it becomes an un-gated note, present in both it must not
+// poison the medians.
+func TestZeroIterationLinesIgnored(t *testing.T) {
+	if _, _, ok := parseBenchLine("BenchmarkBroken-8 \t 0\t 0 ns/op"); ok {
+		t.Fatal("zero-iteration line parsed as a measurement")
+	}
+	if _, _, ok := parseBenchLine("BenchmarkBroken-8 \t notanumber\t 5 ns/op"); ok {
+		t.Fatal("garbage iteration count parsed as a measurement")
+	}
+	zeroed := baselineOut + "BenchmarkBroken-8 \t 0\t 999999999 ns/op\n"
+	base := writeBench(t, "base.txt", baselineOut)
+	cur := writeBench(t, "cur.txt", zeroed)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", base, "-current", cur}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if strings.Contains(out.String(), "BenchmarkBroken") {
+		t.Fatalf("zero-iteration benchmark leaked into the report:\n%s", out.String())
+	}
+}
+
+// TestMissingBaselineKey: a benchmark in the current run with no baseline
+// key is noted, never gated — even when it is wildly slow.
+func TestMissingBaselineKey(t *testing.T) {
+	extra := baselineOut + "BenchmarkBrandNew-8 \t 1\t 999999999 ns/op\n"
+	base := writeBench(t, "base.txt", baselineOut)
+	cur := writeBench(t, "cur.txt", extra)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", base, "-current", cur}, &out, &errOut); code != 0 {
+		t.Fatalf("a missing baseline key tripped the gate: %s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "note: BenchmarkBrandNew only in current (not gated)") {
+		t.Fatalf("missing-baseline-key note absent:\n%s", out.String())
+	}
+}
+
+// TestFailureNamesWorstOffender: when the gate trips, the failure line must
+// name the single worst benchmark, and the delta table must be sorted with
+// it on top.
+func TestFailureNamesWorstOffender(t *testing.T) {
+	slow := strings.NewReplacer(
+		"3500000 ns/op", "35000000 ns/op", // DatabaseLookup 10× — the offender
+		"9000000 ns/op", "13500000 ns/op", // ServerBatch 1.5×
+	).Replace(baselineOut)
+	base := writeBench(t, "base.txt", baselineOut)
+	cur := writeBench(t, "cur.txt", slow)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", base, "-current", cur, "-threshold", "1.25"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(errOut.String(), "worst offender: BenchmarkDatabaseLookup1000 (10.000× baseline)") {
+		t.Fatalf("failure line does not name the offender: %s", errOut.String())
+	}
+	// Sorted worst-first: the offender's row precedes the others.
+	body := out.String()
+	if strings.Index(body, "BenchmarkDatabaseLookup1000") > strings.Index(body, "BenchmarkServerBatch") {
+		t.Fatalf("delta table not sorted worst-first:\n%s", body)
+	}
+}
+
+// TestFailureNamesRegressedStage is the stage-attribution self-test: with
+// the per-stage sub-benchmarks in the key set and one stage deliberately
+// slowed, the gate's failure output must name that stage.
+func TestFailureNamesRegressedStage(t *testing.T) {
+	const stageBase = `goos: linux
+BenchmarkPipelineThroughput/workers=1-8 	 1	 1000000 ns/op
+BenchmarkStageBreakdown/binarize-8      	 1	  200000 ns/op
+BenchmarkStageBreakdown/features-8      	 1	  300000 ns/op
+BenchmarkStageBreakdown/classify-8      	 1	  400000 ns/op
+PASS
+`
+	// classify deliberately slowed 8×; everything else at parity.
+	slow := strings.Replace(stageBase, "BenchmarkStageBreakdown/classify-8      \t 1\t  400000 ns/op",
+		"BenchmarkStageBreakdown/classify-8      \t 1\t 3200000 ns/op", 1)
+	base := writeBench(t, "base.txt", stageBase)
+	cur := writeBench(t, "cur.txt", slow)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", base, "-current", cur, "-threshold", "1.25"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(errOut.String(), "regressed stage: classify (8.000× baseline)") {
+		t.Fatalf("failure output does not name the slowed stage: %s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "worst offender: BenchmarkStageBreakdown/classify") {
+		t.Fatalf("offender line: %s", errOut.String())
+	}
+}
+
 // TestUsageErrors pins flag handling.
 func TestUsageErrors(t *testing.T) {
 	var out, errOut bytes.Buffer

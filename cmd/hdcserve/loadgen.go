@@ -44,7 +44,7 @@ func runLoadgen(cfg loadgenConfig, stdout, stderr io.Writer) error {
 
 	base := cfg.target
 	if base == "" {
-		sys, srv, _, err := buildService(cfg.workers, 0, 0, "", "", 2*time.Minute, 1024, false, 0, false)
+		sys, srv, _, err := buildService(cfg.workers, 0, 0, 0, "", "", 2*time.Minute, 1024, false, 0, false)
 		if err != nil {
 			return err
 		}

@@ -62,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		workers  = fs.Int("workers", 0, "recognition worker pool size (0 = NumCPU)")
 		queue    = fs.Int("queue", 0, "shared frame queue depth (0 = 2×workers)")
 		window   = fs.Int("window", 0, "per-stream in-flight frame bound (0 = 2×workers)")
+		traceBuf = fs.Int("trace-buffer", 0, "per-worker frame-trace ring capacity served on /tracez (0 = default, rounded up to a power of two)")
 		dict     = fs.String("dict", "", "load a reference dictionary file (default: render the built-in references)")
 		storeDir = fs.String("store", "", "serve from a segmented on-disk store directory (created and seeded with the built-in references if absent; see signdb -convert)")
 		idle     = fs.Duration("idle-timeout", 2*time.Minute, "reap stream sessions idle this long")
@@ -122,7 +123,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintln(stderr, "hdcserve: -dict and -store are mutually exclusive")
 		return 2
 	}
-	sys, srv, st, err := buildService(*workers, *queue, *window, *dict, *storeDir, *idle, *maxBatch, *gest, *gestBuf, *fpz)
+	sys, srv, st, err := buildService(*workers, *queue, *window, *traceBuf, *dict, *storeDir, *idle, *maxBatch, *gest, *gestBuf, *fpz)
 	if err != nil {
 		fmt.Fprintln(stderr, "hdcserve:", err)
 		return 1
@@ -137,12 +138,13 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 // buildService assembles the system and the HTTP service over it. The
 // returned store is non-nil only in -store mode; the caller closes it after
 // the system drains.
-func buildService(workers, queue, window int, dict, storeDir string, idle time.Duration,
+func buildService(workers, queue, window, traceBuf int, dict, storeDir string, idle time.Duration,
 	maxBatch int, gest bool, gestBuf int, debugFailpoints bool) (*core.System, *server.Server, *store.Store, error) {
 	sys, err := core.NewSystem(
 		core.WithSceneConfig(scene.Config{}),
 		core.WithPipelineConfig(pipeline.Config{
 			Workers: workers, QueueDepth: queue, StreamWindow: window,
+			TraceBuffer: traceBuf,
 		}),
 		core.WithPoolLabel("hdcserve"),
 	)

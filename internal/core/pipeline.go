@@ -6,6 +6,7 @@ import (
 	"hdc/internal/pipeline"
 	"hdc/internal/raster"
 	"hdc/internal/recognizer"
+	"hdc/internal/trace"
 )
 
 // pipeline.go exposes the streaming recognition service on the System
@@ -127,6 +128,17 @@ func (s *System) PoolStats() (stats pipeline.Stats, started bool) {
 // streaming call has started one yet. Fleet experiments read per-drone
 // counters (frames recognised, ingest sheds) from it.
 func (s *System) Owner() *pipeline.Owner { return s.owner.Load() }
+
+// Tracer returns the worker pool's per-frame flight recorder, or nil if no
+// streaming call has started the pool yet. On a shared pool the tracer is
+// fleet-wide — frames carry their owner's label — which is exactly what
+// /tracez wants to serve.
+func (s *System) Tracer() *trace.Tracer {
+	if p := s.pipe.Load(); p != nil {
+		return p.Tracer()
+	}
+	return nil
+}
 
 // Close detaches the system from its worker pool, if one was resolved. On a
 // private system that drains the pool (this system is its only owner); on a

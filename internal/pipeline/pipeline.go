@@ -25,6 +25,7 @@ import (
 	"hdc/internal/failpoint"
 	"hdc/internal/raster"
 	"hdc/internal/recognizer"
+	"hdc/internal/trace"
 )
 
 // Config sizes the worker pool.
@@ -40,6 +41,11 @@ type Config struct {
 	// is what keeps one unconsumed stream from buffering unboundedly while
 	// letting the pool stay busy.
 	StreamWindow int
+	// TraceBuffer is the per-worker capacity of the frame-trace ring buffers
+	// (default trace.DefaultBuffer, rounded up to a power of two). Tracing is
+	// always compiled in and armed by default; use Tracer().Disarm to reduce
+	// it to one atomic load per frame.
+	TraceBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -64,11 +70,13 @@ var (
 	errNilProc = errors.New("pipeline: nil proc")
 )
 
-// job is one frame travelling through the pool.
+// job is one frame travelling through the pool. The trace handle rides with
+// the frame so every goroutine that touches it stamps the same record.
 type job struct {
 	st    *Stream
 	seq   uint64
 	frame *raster.Gray
+	tr    trace.Handle
 }
 
 // Pipeline is the worker pool. Construct with New, create one Stream per
@@ -77,10 +85,11 @@ type job struct {
 // the pool instead (see owner.go for the reference-counting contract). All
 // methods are safe for concurrent use.
 type Pipeline struct {
-	cfg Config
-	rec *recognizer.Recognizer
-	in  chan job
-	wg  sync.WaitGroup
+	cfg    Config
+	rec    *recognizer.Recognizer
+	in     chan job
+	wg     sync.WaitGroup
+	tracer *trace.Tracer
 
 	// Live-feed ingest totals, aggregated across every Source ever attached
 	// to this pipeline's streams (see Source); exported via Stats.
@@ -110,6 +119,7 @@ func New(rec *recognizer.Recognizer, cfg Config) (*Pipeline, error) {
 		cfg:     cfg,
 		rec:     rec,
 		in:      make(chan job, cfg.QueueDepth),
+		tracer:  trace.New(cfg.Workers, cfg.TraceBuffer),
 		streams: make(map[*Stream]struct{}),
 		owners:  make(map[*Owner]struct{}),
 	}
@@ -122,6 +132,11 @@ func New(rec *recognizer.Recognizer, cfg Config) (*Pipeline, error) {
 
 // Config returns the effective configuration.
 func (p *Pipeline) Config() Config { return p.cfg }
+
+// Tracer returns the pipeline's per-frame flight recorder: every frame the
+// pool touches stamps its stage boundaries into it, /tracez serves its
+// snapshots, and Disarm/Arm toggle recording at runtime.
+func (p *Pipeline) Tracer() *trace.Tracer { return p.tracer }
 
 // Stats is a point-in-time snapshot of pool occupancy, the load signal the
 // service layer exports on /statsz: how deep the shared queue is, how many
@@ -188,6 +203,7 @@ func (p *Pipeline) worker() {
 	sc := recognizer.NewScratch()
 	for j := range p.in {
 		var res recognizer.Result
+		deq := j.tr.Stamp(trace.StageDequeue)
 		// The worker-dispatch failpoint: a delay policy slows the lane (the
 		// overload generator for the chaos suite and E23), an error policy
 		// completes the frame with the injected error without running the
@@ -196,11 +212,24 @@ func (p *Pipeline) worker() {
 		if err == nil {
 			if j.st.proc != nil {
 				res, err = j.st.proc(sc, j.seq, j.frame)
+				// A custom proc is one opaque stage; the whole call counts as
+				// classification.
+				j.tr.Stamp(trace.StageClassify)
 			} else {
 				res, err = p.rec.RecognizeWith(sc, j.frame)
+				// The recogniser already measured its internal stages; replay
+				// its timings as cumulative offsets from the dequeue stamp so
+				// the trace's binarize/features/classify spans are the
+				// recogniser's own numbers, not a second clock.
+				t := res.Timings
+				bin := deq + int64(t.Threshold+t.Morph)
+				feat := bin + int64(t.Contour+t.Encode)
+				j.tr.StampAt(trace.StageBinarize, bin)
+				j.tr.StampAt(trace.StageFeatures, feat)
+				j.tr.StampAt(trace.StageClassify, feat+int64(t.Match))
 			}
 		}
-		j.st.complete(j.seq, j.frame, res, err)
+		j.st.complete(j.seq, j.frame, j.tr, res, err)
 	}
 }
 
@@ -280,6 +309,9 @@ func (p *Pipeline) registerOwned(proc Proc, owner *Owner) (*Stream, error) {
 	st := newStream(p)
 	st.proc = proc
 	st.owner = owner
+	if owner != nil {
+		st.traceOwner = p.tracer.LabelID(owner.label)
+	}
 	p.streams[st] = struct{}{}
 	if owner != nil {
 		owner.streams.Add(1)
@@ -488,15 +520,18 @@ type StreamResult struct {
 	Frame *raster.Gray
 	Res   recognizer.Result
 	Err   error // nil, recognizer.ErrNoSign, a vision error, or ErrClosed
+
+	tr trace.Handle // the frame's trace, finished at delivery or drop
 }
 
 // Stream is one ordered frame source. Submit and Close are safe for
 // concurrent use, though a stream's ordering is only meaningful to whoever
 // chose the submission order.
 type Stream struct {
-	p     *Pipeline
-	proc  Proc   // nil: the default sign-recognition stage
-	owner *Owner // nil: opened directly on the Pipeline, unattributed
+	p          *Pipeline
+	proc       Proc   // nil: the default sign-recognition stage
+	owner      *Owner // nil: opened directly on the Pipeline, unattributed
+	traceOwner uint32 // interned owner label for trace attribution
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -527,7 +562,12 @@ func newStream(p *Pipeline) *Stream {
 // in-flight window or the worker queue is full (back-pressure), and fails
 // with ErrStreamClosed/ErrClosed once the stream or pipeline is closed. The
 // frame must not be mutated until it comes back in a StreamResult.
-func (s *Stream) Submit(frame *raster.Gray) error {
+func (s *Stream) Submit(frame *raster.Gray) error { return s.submit(frame, trace.Handle{}) }
+
+// submit is Submit carrying an optional trace handle begun upstream (the
+// ingest ring's Offer stamp); frames arriving without one begin their trace
+// at the enqueue boundary.
+func (s *Stream) submit(frame *raster.Gray, h trace.Handle) error {
 	if frame == nil {
 		return ErrNilFrame
 	}
@@ -544,13 +584,24 @@ func (s *Stream) Submit(frame *raster.Gray) error {
 	s.inflight++
 	s.mu.Unlock()
 
-	if err := s.p.enqueue(job{st: s, seq: seq, frame: frame}); err != nil {
+	h = s.traceEnqueue(h)
+	if err := s.p.enqueue(job{st: s, seq: seq, frame: frame, tr: h}); err != nil {
 		// The sequence number is already claimed; deliver the failure as a
 		// result so the stream's ordering has no hole.
-		s.complete(seq, frame, recognizer.Result{}, err)
+		s.complete(seq, frame, h, recognizer.Result{}, err)
 		return err
 	}
 	return nil
+}
+
+// traceEnqueue stamps the enqueue boundary, beginning the trace first for
+// frames that did not pass through an ingest ring.
+func (s *Stream) traceEnqueue(h trace.Handle) trace.Handle {
+	if !h.Active() {
+		h = s.p.tracer.Begin(s.traceOwner)
+	}
+	h.Stamp(trace.StageEnqueue)
+	return h
 }
 
 // SubmitContext is Submit with a deadline: both waits — the stream's
@@ -598,9 +649,10 @@ func (s *Stream) SubmitContext(ctx context.Context, frame *raster.Gray) (claimed
 	s.inflight++
 	s.mu.Unlock()
 
-	if err := s.p.enqueueCtx(ctx, job{st: s, seq: seq, frame: frame}); err != nil {
+	h := s.traceEnqueue(trace.Handle{})
+	if err := s.p.enqueueCtx(ctx, job{st: s, seq: seq, frame: frame, tr: h}); err != nil {
 		// Claimed: deliver the failure as a result so ordering has no hole.
-		s.complete(seq, frame, recognizer.Result{}, err)
+		s.complete(seq, frame, h, recognizer.Result{}, err)
 		return true, err
 	}
 	return true, nil
@@ -639,8 +691,12 @@ func (s *Stream) SetDropHook(fn func(*raster.Gray)) {
 	s.mu.Unlock()
 }
 
-// dropResult recycles one discarded result's frame through the drop hook.
+// dropResult recycles one discarded result's frame through the drop hook
+// and closes its trace with the abandon terminal. A result that was already
+// finished — delivered before the consumer walked away — keeps its deliver
+// terminal (Finish is exactly-once).
 func (s *Stream) dropResult(r StreamResult) {
+	r.tr.Finish(trace.TerminalAbandon)
 	s.mu.Lock()
 	fn := s.dropHook
 	s.mu.Unlock()
@@ -672,12 +728,12 @@ func (s *Stream) Abandon() {
 
 // complete records one finished frame; called by workers and by Submit on
 // enqueue failure.
-func (s *Stream) complete(seq uint64, frame *raster.Gray, res recognizer.Result, err error) {
+func (s *Stream) complete(seq uint64, frame *raster.Gray, h trace.Handle, res recognizer.Result, err error) {
 	if s.owner != nil {
 		s.owner.frames.Add(1)
 	}
 	s.mu.Lock()
-	s.pending[seq] = StreamResult{Seq: seq, Frame: frame, Res: res, Err: err}
+	s.pending[seq] = StreamResult{Seq: seq, Frame: frame, Res: res, Err: err, tr: h}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 }
@@ -695,6 +751,15 @@ func (s *Stream) emit() {
 			s.mu.Unlock()
 			select {
 			case s.out <- r:
+				// Sent into the delivery buffer. Unless the consumer has
+				// already abandoned — in which case the drop-drain will take
+				// it and finish the trace as an abandon — that is delivery.
+				select {
+				case <-s.abandoned:
+				default:
+					r.tr.Stamp(trace.StageDeliver)
+					r.tr.Finish(trace.TerminalDeliver)
+				}
 			case <-s.abandoned:
 				// Consumer is gone; drop this and every later result,
 				// recycling their frames through the drop hook.

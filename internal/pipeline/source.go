@@ -7,6 +7,7 @@ import (
 
 	"hdc/internal/failpoint"
 	"hdc/internal/raster"
+	"hdc/internal/trace"
 )
 
 // source.go is the live-feed ingest layer: a bounded ring buffer with a
@@ -45,8 +46,9 @@ type Source struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	ring    []*raster.Gray
-	head    int // index of the oldest queued frame
-	count   int // queued frames
+	traces  []trace.Handle // parallel to ring: each queued frame's trace
+	head    int            // index of the oldest queued frame
+	count   int            // queued frames
 	closed  bool
 	discard bool // drop queued frames instead of submitting them
 
@@ -67,10 +69,11 @@ func NewSource(st *Stream, cfg SourceConfig) (*Source, error) {
 		cfg.Capacity = st.p.cfg.StreamWindow
 	}
 	s := &Source{
-		st:   st,
-		cfg:  cfg,
-		ring: make([]*raster.Gray, cfg.Capacity),
-		done: make(chan struct{}),
+		st:     st,
+		cfg:    cfg,
+		ring:   make([]*raster.Gray, cfg.Capacity),
+		traces: make([]trace.Handle, cfg.Capacity),
+		done:   make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	go s.forward()
@@ -91,13 +94,20 @@ func (s *Source) Offer(f *raster.Gray) error {
 		return ErrSourceClosed
 	}
 	var evicted *raster.Gray
+	var evictedTr trace.Handle
 	if s.count == len(s.ring) {
 		evicted = s.ring[s.head]
+		evictedTr = s.traces[s.head]
 		s.ring[s.head] = nil
+		s.traces[s.head] = trace.Handle{}
 		s.head = (s.head + 1) % len(s.ring)
 		s.count--
 	}
-	s.ring[(s.head+s.count)%len(s.ring)] = f
+	h := s.st.p.tracer.Begin(s.st.traceOwner)
+	h.Stamp(trace.StageOffer)
+	tail := (s.head + s.count) % len(s.ring)
+	s.ring[tail] = f
+	s.traces[tail] = h
 	s.count++
 	// Count the accept before releasing the lock: a concurrent Offer may
 	// evict this frame (and count the drop) the moment we unlock, and the
@@ -111,15 +121,16 @@ func (s *Source) Offer(f *raster.Gray) error {
 	s.mu.Unlock()
 
 	if evicted != nil {
-		s.drop(evicted)
+		s.drop(evicted, evictedTr)
 	}
 	return nil
 }
 
 // drop counts one dropped frame — against the source, the pipeline and the
 // stream's owner, so a fleet's sheds are attributed to the drone that shed
-// them — and recycles it.
-func (s *Source) drop(f *raster.Gray) {
+// them — recycles it, and ends its trace with the shed terminal.
+func (s *Source) drop(f *raster.Gray, h trace.Handle) {
+	h.Finish(trace.TerminalShed)
 	s.dropped.Add(1)
 	s.st.p.ingestDropped.Add(1)
 	if o := s.st.owner; o != nil {
@@ -145,24 +156,26 @@ func (s *Source) forward() {
 			return
 		}
 		f := s.ring[s.head]
+		h := s.traces[s.head]
 		s.ring[s.head] = nil
+		s.traces[s.head] = trace.Handle{}
 		s.head = (s.head + 1) % len(s.ring)
 		s.count--
 		discard := s.discard
 		s.mu.Unlock()
 
 		if discard {
-			s.drop(f)
+			s.drop(f, h)
 			continue
 		}
 		// Ring-forward failpoint: a delay stalls the forwarder so the ring
 		// backs up and evicts (shedding under a wedged consumer); an error
 		// sheds this frame like any other drop.
 		if err := failpoint.Inject(failpoint.PipelineRingForward); err != nil {
-			s.drop(f)
+			s.drop(f, h)
 			continue
 		}
-		if err := s.st.Submit(f); err != nil {
+		if err := s.st.submit(f, h); err != nil {
 			// The stream or pipeline closed underneath us: everything still
 			// queued can only be dropped, and future Offers should fail
 			// fast.
@@ -174,10 +187,11 @@ func (s *Source) forward() {
 				// Submit claimed a sequence number before the pool refused
 				// the frame, so it comes back as an error result and is
 				// recycled on the delivery (or drop-hook) path — dropping
-				// it here too would recycle one buffer twice.
+				// it here too would recycle one buffer twice. Its trace
+				// travels with the error result and finishes there.
 				continue
 			}
-			s.drop(f)
+			s.drop(f, h)
 		}
 	}
 }

@@ -1,0 +1,263 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"hdc/internal/raster"
+	"hdc/internal/recognizer"
+	"hdc/internal/trace"
+)
+
+// trace_integration_test.go pins the tracing wiring end to end: frames
+// travelling the real pipeline (submit, ingest ring, worker, emit, abandon)
+// must come out the other side as complete trace records with the right
+// terminal — exactly one of deliver/shed/abandon per frame.
+
+// grayFrame builds a small blank frame for proc-stream tests.
+func grayFrame(t *testing.T) *raster.Gray {
+	t.Helper()
+	f, err := raster.NewGray(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// drainTraces waits until the tracer's finished totals account for every
+// begun frame (in-flight work racing the snapshot otherwise makes the
+// assertions flaky).
+func drainTraces(t *testing.T, tr *trace.Tracer) trace.Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap := tr.Snapshot(0)
+		finished := snap.Totals.Delivered + snap.Totals.Shed + snap.Totals.Abandoned
+		if finished == snap.Totals.Begun {
+			return snap
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("traces never drained: %+v", snap.Totals)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTraceDeliveredFrames drives an owner-attributed stream through the
+// pool and checks every frame's trace: deliver terminal, owner label, and
+// the full enqueue→deliver stage ladder with monotone offsets.
+func TestTraceDeliveredFrames(t *testing.T) {
+	rec, rend := newRecognizer(t)
+	frames, _ := renderSigns(t, rend, 6)
+
+	p, err := New(rec, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	o, err := p.Attach("drone-42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := o.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer st.Close()
+		for _, f := range frames {
+			if err := st.Submit(f); err != nil {
+				return
+			}
+		}
+	}()
+	for range st.Results() {
+	}
+
+	snap := drainTraces(t, p.Tracer())
+	if snap.Totals.Begun != uint64(len(frames)) || snap.Totals.Delivered != uint64(len(frames)) {
+		t.Fatalf("totals = %+v, want %d delivered", snap.Totals, len(frames))
+	}
+	if len(snap.Frames) != len(frames) {
+		t.Fatalf("snapshot holds %d frames, want %d", len(snap.Frames), len(frames))
+	}
+	for _, f := range snap.Frames {
+		if f.Terminal != "deliver" {
+			t.Fatalf("frame %d terminal = %q, want deliver", f.ID, f.Terminal)
+		}
+		if f.Owner != "drone-42" {
+			t.Fatalf("frame %d owner = %q, want drone-42", f.ID, f.Owner)
+		}
+		// Direct Submit: no offer stamp, then the full ladder.
+		want := []string{"enqueue", "dequeue", "binarize", "features", "classify", "deliver"}
+		if len(f.Stages) != len(want) {
+			t.Fatalf("frame %d has %d stages: %+v", f.ID, len(f.Stages), f.Stages)
+		}
+		for i, sp := range f.Stages {
+			if sp.Stage != want[i] {
+				t.Fatalf("frame %d stage[%d] = %q, want %q", f.ID, i, sp.Stage, want[i])
+			}
+			if sp.SinceNs < 0 {
+				t.Fatalf("frame %d stage %q went backwards: %d", f.ID, sp.Stage, sp.SinceNs)
+			}
+		}
+		if f.TotalNs <= 0 {
+			t.Fatalf("frame %d total = %d", f.ID, f.TotalNs)
+		}
+	}
+	// The aggregate breakdown saw every delivered frame.
+	for _, st := range snap.Stages {
+		if st.Stage == "ingest" {
+			continue // no ingest ring in this test
+		}
+		if st.Count != uint64(len(frames)) {
+			t.Fatalf("span %q count = %d, want %d", st.Stage, st.Count, len(frames))
+		}
+	}
+}
+
+// TestTraceShedAtIngestRing wedges a proc stream behind a gate so a small
+// ingest ring evicts, and checks evicted frames end as shed (with the offer
+// stamp) while the survivors deliver — and that the trace totals mirror the
+// ring's dropped ≤ accepted invariant.
+func TestTraceShedAtIngestRing(t *testing.T) {
+	rec, _ := newRecognizer(t)
+	p, err := New(rec, Config{Workers: 1, QueueDepth: 1, StreamWindow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	gate := make(chan struct{})
+	st, err := p.NewProcStream(func(sc *recognizer.Scratch, seq uint64, frame *raster.Gray) (recognizer.Result, error) {
+		<-gate
+		return recognizer.Result{OK: true}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSource(st, SourceConfig{Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const offered = 16
+	for i := 0; i < offered; i++ {
+		if err := src.Offer(grayFrame(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(gate)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range st.Results() {
+		}
+	}()
+	src.Close() // flush the ring's survivors into the stream
+	st.Close()
+	<-drained
+
+	snap := drainTraces(t, p.Tracer())
+	if snap.Totals.Begun != offered {
+		t.Fatalf("begun = %d, want %d (every Offer begins a trace)", snap.Totals.Begun, offered)
+	}
+	if snap.Totals.Shed == 0 || snap.Totals.Delivered == 0 {
+		t.Fatalf("expected both sheds and deliveries: %+v", snap.Totals)
+	}
+	if snap.Totals.Shed > snap.Totals.Begun {
+		t.Fatalf("shed %d > begun %d", snap.Totals.Shed, snap.Totals.Begun)
+	}
+	stats := src.Stats()
+	if snap.Totals.Shed != stats.Dropped || stats.Dropped > stats.Accepted {
+		t.Fatalf("trace sheds %d vs ring dropped %d / accepted %d", snap.Totals.Shed, stats.Dropped, stats.Accepted)
+	}
+	for _, f := range snap.Frames {
+		if f.Terminal != "shed" {
+			continue
+		}
+		if len(f.Stages) == 0 || f.Stages[0].Stage != "offer" {
+			t.Fatalf("shed frame %d missing its offer stamp: %+v", f.ID, f.Stages)
+		}
+	}
+}
+
+// TestTraceAbandonTerminalExactlyOnce is the regression test for the
+// deadline path: a frame dropped by an abandoned stream must end in the
+// abandon terminal exactly once — never double-finished by the racing
+// deliver path, never left in flight.
+func TestTraceAbandonTerminalExactlyOnce(t *testing.T) {
+	rec, _ := newRecognizer(t)
+	p, err := New(rec, Config{Workers: 1, QueueDepth: 8, StreamWindow: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	gate := make(chan struct{})
+	st, err := p.NewProcStream(func(sc *recognizer.Scratch, seq uint64, frame *raster.Gray) (recognizer.Result, error) {
+		<-gate
+		return recognizer.Result{OK: true}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const submitted = 4
+	for i := 0; i < submitted; i++ {
+		if err := st.Submit(grayFrame(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The consumer walks away while every frame is still in flight, then the
+	// workers finish into the abandoned stream.
+	st.Abandon()
+	close(gate)
+
+	snap := drainTraces(t, p.Tracer())
+	if snap.Totals.Begun != submitted {
+		t.Fatalf("begun = %d, want %d", snap.Totals.Begun, submitted)
+	}
+	if snap.Totals.Abandoned != submitted || snap.Totals.Delivered != 0 || snap.Totals.Shed != 0 {
+		t.Fatalf("abandoned frames double- or mis-terminated: %+v", snap.Totals)
+	}
+	seen := map[uint64]bool{}
+	for _, f := range snap.Frames {
+		if f.Terminal != "abandon" {
+			t.Fatalf("frame %d terminal = %q, want abandon", f.ID, f.Terminal)
+		}
+		if seen[f.ID] {
+			t.Fatalf("frame %d appears twice in the snapshot", f.ID)
+		}
+		seen[f.ID] = true
+	}
+	if len(seen) != submitted {
+		t.Fatalf("snapshot shows %d abandoned frames, want %d", len(seen), submitted)
+	}
+}
+
+// TestTraceDisarmedPipeline checks a disarmed tracer records nothing while
+// the pipeline still works — the production default is armed, but the
+// disarmed path must stay correct for overhead-sensitive deployments.
+func TestTraceDisarmedPipeline(t *testing.T) {
+	rec, rend := newRecognizer(t)
+	frames, _ := renderSigns(t, rend, 4)
+	p, err := New(rec, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Tracer().Disarm()
+
+	results, errs, err := p.RecognizeBatch(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("frame %d: %v", i, errs[i])
+		}
+	}
+	snap := p.Tracer().Snapshot(0)
+	if snap.Armed || snap.Totals.Begun != 0 || len(snap.Frames) != 0 {
+		t.Fatalf("disarmed tracer recorded traffic: %+v", snap.Totals)
+	}
+}

@@ -2,7 +2,9 @@ package server_test
 
 import (
 	"context"
+	"encoding/json"
 	"math/rand"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -103,6 +105,34 @@ func chaosClient(base string) *client.Client {
 		MaxBackoff:       10 * time.Millisecond,
 		BreakerThreshold: 1 << 30,
 	})
+}
+
+// captureTracez writes a full /tracez snapshot to the file named by
+// HDC_TRACEZ_CAPTURE, when set. CI exports the variable in the chaos job and
+// uploads the file as a build artifact, so every run leaves a real trace
+// payload — frames that travelled a faulted pipeline, with their terminals
+// and stage breakdown — for offline inspection. A capture failure is logged,
+// never fatal: the artifact is a byproduct, not an invariant.
+func captureTracez(t *testing.T, c *client.Client) {
+	path := os.Getenv("HDC_TRACEZ_CAPTURE")
+	if path == "" {
+		return
+	}
+	resp, err := c.Tracez(context.Background(), 0)
+	if err != nil {
+		t.Logf("tracez capture: %v", err)
+		return
+	}
+	buf, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		t.Logf("tracez capture: %v", err)
+		return
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Logf("tracez capture: %v", err)
+		return
+	}
+	t.Logf("tracez capture: %d frames to %s", len(resp.Frames), path)
 }
 
 // waitBalanced polls /statsz until the frame pool is balanced and admission
@@ -214,6 +244,7 @@ func TestChaosBatchAndStream(t *testing.T) {
 	if stats.Pool.IngestDropped > stats.Pool.IngestAccepted {
 		t.Fatalf("ingest dropped %d > accepted %d", stats.Pool.IngestDropped, stats.Pool.IngestAccepted)
 	}
+	captureTracez(t, c)
 	t.Logf("chaos: delivered=%d failed_requests=%d rejected=%d",
 		delivered.Load(), failedReqs.Load(), stats.Admission.Rejected)
 }

@@ -701,3 +701,19 @@ func (c *Client) Statsz(ctx context.Context) (server.StatsResponse, error) {
 	}, &out)
 	return out, err
 }
+
+// Tracez fetches the service's per-frame trace snapshot: recent completed
+// frame traces (stage spans, owner label, terminal event) plus the
+// cumulative per-stage latency breakdown. limit bounds the per-frame
+// records; 0 takes the server default.
+func (c *Client) Tracez(ctx context.Context, limit int) (server.TracezResponse, error) {
+	url := c.base + "/tracez"
+	if limit > 0 {
+		url += fmt.Sprintf("?limit=%d", limit)
+	}
+	var out server.TracezResponse
+	err := c.doRetry(ctx, func(actx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(actx, http.MethodGet, url, nil)
+	}, &out)
+	return out, err
+}

@@ -164,6 +164,7 @@ func New(sys *core.System, opts Options) *Server {
 	s.mux.HandleFunc("GET /livez", s.handleLivez)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /tracez", s.handleTracez)
 	if s.opts.DebugFailpoints {
 		s.mux.HandleFunc("GET /failpointz", s.handleFailpointz)
 		s.mux.HandleFunc("POST /failpointz", s.handleFailpointz)

@@ -1,0 +1,52 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+
+	"hdc/internal/trace"
+)
+
+// trace.go serves the pipeline's per-frame flight recorder (internal/trace)
+// on GET /tracez: the most recent completed frame traces — per-stage spans
+// with owner attribution and terminal event — plus the cumulative per-stage
+// latency breakdown (p50/p99). It is the per-frame companion to /statsz's
+// aggregates: /statsz says the pool is slow, /tracez says which stage of
+// which owner's frames is slow.
+
+// tracezDefaultLimit bounds the frames returned when the request does not
+// pass ?limit=N. The full buffer is workers × trace-buffer records — too
+// much for a human scrape by default.
+const tracezDefaultLimit = 64
+
+// TracezResponse is the /tracez payload. Started mirrors /statsz's pool
+// semantics: false (with an empty snapshot) until the first streaming call
+// starts the worker pool.
+type TracezResponse struct {
+	Started bool `json:"started"`
+	trace.Snapshot
+}
+
+// handleTracez answers GET /tracez. ?limit=N bounds the per-frame records
+// (default 64, 0 keeps the default; the per-stage breakdown is always
+// complete).
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	limit := tracezDefaultLimit
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, errors.New("server: limit must be a non-negative integer"))
+			return
+		}
+		if n > 0 {
+			limit = n
+		}
+	}
+	tr := s.sys.Tracer()
+	if tr == nil {
+		writeJSON(w, http.StatusOK, TracezResponse{Started: false})
+		return
+	}
+	writeJSON(w, http.StatusOK, TracezResponse{Started: true, Snapshot: tr.Snapshot(limit)})
+}

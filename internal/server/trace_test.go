@@ -1,0 +1,191 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+
+	"hdc/internal/pipeline"
+	"hdc/internal/server"
+	"hdc/internal/server/client"
+)
+
+// traceStageNames are the boundaries a /tracez frame may report, in
+// pipeline order — the wire schema contract.
+var traceStageNames = map[string]bool{
+	"offer": true, "enqueue": true, "dequeue": true, "binarize": true,
+	"features": true, "classify": true, "deliver": true,
+}
+
+// checkTracezSchema asserts one /tracez payload is internally consistent:
+// valid terminals and stage names, monotone spans, percentile ordering, and
+// the finished ≤ begun totals invariant.
+func checkTracezSchema(t *testing.T, resp server.TracezResponse) {
+	t.Helper()
+	finished := resp.Totals.Delivered + resp.Totals.Shed + resp.Totals.Abandoned
+	if finished > resp.Totals.Begun {
+		t.Fatalf("finished %d > begun %d", finished, resp.Totals.Begun)
+	}
+	if len(resp.Stages) != 6 {
+		t.Fatalf("breakdown has %d spans, want 6: %+v", len(resp.Stages), resp.Stages)
+	}
+	for _, st := range resp.Stages {
+		if st.Count > 0 && (st.P50Ns <= 0 || st.P99Ns < st.P50Ns) {
+			t.Fatalf("span %q percentiles out of order: p50=%d p99=%d", st.Stage, st.P50Ns, st.P99Ns)
+		}
+	}
+	for _, f := range resp.Frames {
+		switch f.Terminal {
+		case "deliver", "shed", "abandon":
+		default:
+			t.Fatalf("frame %d has terminal %q", f.ID, f.Terminal)
+		}
+		if len(f.Stages) == 0 {
+			t.Fatalf("frame %d has no stage spans", f.ID)
+		}
+		for _, sp := range f.Stages {
+			if !traceStageNames[sp.Stage] {
+				t.Fatalf("frame %d has unknown stage %q", f.ID, sp.Stage)
+			}
+			if sp.SinceNs < 0 {
+				t.Fatalf("frame %d stage %q torn: %dns", f.ID, sp.Stage, sp.SinceNs)
+			}
+		}
+	}
+}
+
+// TestTracezSchema drives a batch through the service and checks the
+// /tracez payload: per-frame spans with the deliver terminal, the per-stage
+// p50/p99 breakdown, and the limit parameter.
+func TestTracezSchema(t *testing.T) {
+	sys, _, hs := testService(t, server.Options{}, pipeline.Config{Workers: 2})
+	c := client.New(hs.URL, nil)
+	signs := signPattern(0, 8)
+	frames := signFrames(t, sys, signs)
+	if _, err := c.RecognizeBatch(context.Background(), frames); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := c.Tracez(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Started {
+		t.Fatalf("pool served a batch but /tracez says not started")
+	}
+	if resp.Totals.Delivered < uint64(len(frames)) {
+		t.Fatalf("delivered %d < %d frames", resp.Totals.Delivered, len(frames))
+	}
+	if len(resp.Frames) == 0 {
+		t.Fatalf("no frame traces after a batch")
+	}
+	checkTracezSchema(t, resp)
+	for _, st := range resp.Stages {
+		if st.Stage == "ingest" {
+			continue // batches skip the ingest ring
+		}
+		if st.Count == 0 {
+			t.Fatalf("span %q never observed", st.Stage)
+		}
+	}
+
+	limited, err := c.Tracez(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited.Frames) != 3 {
+		t.Fatalf("limit=3 returned %d frames", len(limited.Frames))
+	}
+
+	// A malformed limit is a 400, not a 500 or a silent default.
+	r, err := http.Get(hs.URL + "/tracez?limit=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("limit=banana: status %d, want 400", r.StatusCode)
+	}
+}
+
+// TestTracezNotStarted pins the pre-pool payload: started=false and an
+// empty snapshot, never an error.
+func TestTracezNotStarted(t *testing.T) {
+	_, _, hs := testService(t, server.Options{}, pipeline.Config{Workers: 1})
+	r, err := http.Get(hs.URL + "/tracez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", r.StatusCode)
+	}
+	var resp server.TracezResponse
+	if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Started || resp.Totals.Begun != 0 || len(resp.Frames) != 0 {
+		t.Fatalf("expected an empty not-started payload, got %+v", resp)
+	}
+}
+
+// TestTracezUnderConcurrentLoad scrapes /tracez continuously while four
+// operators hammer the batch endpoint. Run under -race in CI, this is the
+// torn-read check at the HTTP boundary: every observed payload must satisfy
+// the schema and totals invariants mid-flight.
+func TestTracezUnderConcurrentLoad(t *testing.T) {
+	sys, _, hs := testService(t, server.Options{}, pipeline.Config{Workers: 4, TraceBuffer: 32})
+	const operators = 4
+	const batches = 6
+
+	var wg sync.WaitGroup
+	for op := 0; op < operators; op++ {
+		wg.Add(1)
+		go func(op int) {
+			defer wg.Done()
+			c := client.New(hs.URL, nil)
+			signs := signPattern(op, 6)
+			frames := signFrames(t, sys, signs)
+			for b := 0; b < batches; b++ {
+				if _, err := c.RecognizeBatch(context.Background(), frames); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(op)
+	}
+
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		c := client.New(hs.URL, nil)
+		for i := 0; i < 50; i++ {
+			resp, err := c.Tracez(context.Background(), 16)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if resp.Started {
+				checkTracezSchema(t, resp)
+			}
+		}
+	}()
+	wg.Wait()
+	<-scrapeDone
+
+	c := client.New(hs.URL, nil)
+	resp, err := c.Tracez(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Most frames travel the pool, but under overload the admission layer may
+	// answer some batches with degraded stage-0 verdicts that never enter it
+	// — so the floor is "a healthy majority traced", not an exact count.
+	want := uint64(operators * batches * 6 / 2)
+	if resp.Totals.Begun < want {
+		t.Fatalf("begun %d < %d (half the submitted frames)", resp.Totals.Begun, want)
+	}
+	checkTracezSchema(t, resp)
+}
