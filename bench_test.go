@@ -5,6 +5,7 @@
 package hdc
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -133,7 +134,7 @@ func BenchmarkE5RecognitionLatency(b *testing.B) {
 		b.Run(map[float64]string{0: "az0", 65: "az65"}[az], func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := rec.Recognize(frame); err != nil && err != recognizer.ErrNoSign {
+				if _, err := rec.Recognize(frame); err != nil && !errors.Is(err, recognizer.ErrNoSign) {
 					b.Fatal(err)
 				}
 			}
@@ -198,7 +199,7 @@ func BenchmarkE9Throughput(b *testing.B) {
 		b.Run(map[int]string{128: "128px", 256: "256px", 512: "512px"}[size], func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := rec.Recognize(frame); err != nil && err != recognizer.ErrNoSign {
+				if _, err := rec.Recognize(frame); err != nil && !errors.Is(err, recognizer.ErrNoSign) {
 					b.Fatal(err)
 				}
 			}
@@ -331,7 +332,7 @@ func BenchmarkE15DeadZoneCapture(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := rec.Recognize(frame); err != nil && err != recognizer.ErrNoSign {
+		if _, err := rec.Recognize(frame); err != nil && !errors.Is(err, recognizer.ErrNoSign) {
 			b.Fatal(err)
 		}
 	}

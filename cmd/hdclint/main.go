@@ -1,0 +1,88 @@
+// Command hdclint is the repo's static-analysis gate: a multichecker
+// over the internal/lint suite (poolcheck, atomiccheck, failpointcheck,
+// sentinelerr) that proves the hand-maintained hot-path contracts at
+// compile time. See DESIGN.md §"The analysis layer".
+//
+// It speaks the go vet driver protocol, so the canonical invocation is
+//
+//	go vet -vettool=$(which hdclint) ./...
+//
+// and it is also directly runnable: given package patterns instead of a
+// vet config file, it re-executes itself through `go vet`, which supplies
+// type information, export data and analysis facts for the whole build
+// graph:
+//
+//	hdclint ./...
+//
+// Diagnostics are suppressed per line with
+// `//hdclint:ignore <analyzer> <justification>`; the exit status is
+// non-zero when any unsuppressed diagnostic fires.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"hdc/internal/lint/suite"
+)
+
+func main() {
+	args := os.Args[1:]
+	// The vet driver invokes the tool several ways — `-V=full` to stamp
+	// the build cache, `-flags` to enumerate flags, `<flags> unit.cfg`
+	// per package — all of which carry a flag or a .cfg file. A command
+	// line of bare package patterns (or nothing) is a human at a shell.
+	if !standaloneArgs(args) {
+		unitchecker.Main(suite.Analyzers()...) // does not return
+	}
+	os.Exit(standalone(args))
+}
+
+// standaloneArgs reports whether the command line is package patterns
+// typed by a human rather than a go vet driver invocation.
+func standaloneArgs(args []string) bool {
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg") {
+			return false
+		}
+	}
+	return true
+}
+
+// standalone re-invokes the binary through `go vet`, turning package
+// patterns into a full driven analysis. The child's diagnostics stream
+// through unchanged; the exit status is go vet's.
+func standalone(args []string) int {
+	// Hard recursion guard: the re-exec below must only ever reach the
+	// unitchecker path. If a protocol change in go vet ever routes a
+	// driver invocation here again, fail instead of forking.
+	if os.Getenv("HDCLINT_CHILD") != "" {
+		fmt.Fprintln(os.Stderr, "hdclint: recursive standalone invocation (unrecognised go vet driver protocol); not re-executing")
+		return 2
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hdclint: cannot locate own binary: %v\n", err)
+		return 2
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	cmd.Env = append(os.Environ(), "HDCLINT_CHILD=1")
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "hdclint: running go vet: %v\n", err)
+		return 2
+	}
+	return 0
+}

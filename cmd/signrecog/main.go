@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -132,7 +133,7 @@ func recognizeOnce(rec *recognizer.Recognizer, rend *scene.Renderer, sign body.S
 		fmt.Fprintln(stdout)
 	}
 	res, err := rec.Recognize(frame)
-	if err != nil && err != recognizer.ErrNoSign {
+	if err != nil && !errors.Is(err, recognizer.ErrNoSign) {
 		return err
 	}
 	fmt.Fprintf(stdout, "view:       %v\n", v)

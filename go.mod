@@ -1,3 +1,13 @@
 module hdc
 
-go 1.22
+go 1.22.0
+
+
+// hdclint's analysis framework — the repo's first external dependency.
+// Pinned to the exact revision Go 1.24 vendors for its own cmd/vet
+// (src/cmd/vendor/modules.txt); the source subset lives in
+// third_party/golang.org/x/tools so builds never touch the network and
+// the pin cannot drift from the checked-in source.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

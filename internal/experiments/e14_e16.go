@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -132,7 +133,7 @@ func E15RepositioningHint() (string, error) {
 	for _, az := range azs {
 		res, err := rec.RecognizeView(rend, body.SignNo,
 			scene.View{AltitudeM: 5, DistanceM: 3, AzimuthDeg: az}, body.Options{}, nil)
-		if err != nil && err != recognizer.ErrNoSign {
+		if err != nil && !errors.Is(err, recognizer.ErrNoSign) {
 			return "", err
 		}
 		caps = append(caps, capture{az: az, shift: res.Match.Shift, mirrored: res.Match.Mirrored})

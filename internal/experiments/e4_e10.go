@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -67,7 +68,7 @@ func E4TimeSeries() (string, error) {
 	for _, az := range []float64{0, 65} {
 		v := scene.View{AltitudeM: 5, DistanceM: 3, AzimuthDeg: az}
 		res, err := rec.RecognizeView(rend, body.SignNo, v, body.Options{}, nil)
-		if err != nil && err != recognizer.ErrNoSign {
+		if err != nil && !errors.Is(err, recognizer.ErrNoSign) {
 			return "", err
 		}
 		sb.WriteString(fmt.Sprintf("Centroid-distance series, azimuth %.0f° (framebw%.0f):\n\n", az, az))
@@ -111,7 +112,7 @@ func E5Latency() (string, error) {
 		var area int
 		for i := 0; i < reps; i++ {
 			res, err := rec.Recognize(frame)
-			if err != nil && err != recognizer.ErrNoSign {
+			if err != nil && !errors.Is(err, recognizer.ErrNoSign) {
 				return "", err
 			}
 			sum.Threshold += res.Timings.Threshold
@@ -298,7 +299,7 @@ func E9Throughput() (string, error) {
 		const frames = 30
 		start := time.Now()
 		for i := 0; i < frames; i++ {
-			if _, err := rec.Recognize(frame); err != nil && err != recognizer.ErrNoSign {
+			if _, err := rec.Recognize(frame); err != nil && !errors.Is(err, recognizer.ErrNoSign) {
 				return "", err
 			}
 		}

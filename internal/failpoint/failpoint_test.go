@@ -221,3 +221,26 @@ func BenchmarkFailpointEnabledOther(b *testing.B) {
 		}
 	}
 }
+
+// TestInjectedSentinelOnlyMatchesWrapped pins the second practical case
+// behind the sentinelerr analyzer: an armed error() policy returns
+// *Error, which wraps ErrInjected via Unwrap — the bare sentinel itself
+// is never returned. Chaos assertions written as `err == ErrInjected`
+// would therefore never fire; errors.Is is the only working match.
+func TestInjectedSentinelOnlyMatchesWrapped(t *testing.T) {
+	if err := Enable("t/sentinel", "error(wrapped)"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable("t/sentinel")
+	err := Inject("t/sentinel")
+	if err == nil {
+		t.Fatal("armed failpoint returned nil")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("errors.Is(err, ErrInjected) = false for %v", err)
+	}
+	//hdclint:ignore sentinelerr this identity comparison is the subject under test: it must NOT match the wrapped sentinel
+	if err == ErrInjected {
+		t.Fatal("err == ErrInjected matched; injected errors are expected to wrap the sentinel, not be it")
+	}
+}

@@ -1,0 +1,152 @@
+package failpoint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// inventory_test.go keeps the three copies of the failpoint catalog in
+// lock-step: the constants declared in this package (the canonical
+// inventory, enforced at every Inject site by the failpointcheck
+// analyzer), the Inject sites in the production tree, and the prose
+// catalog in DESIGN.md's dependability section. A failpoint that is
+// registered but never injected is dead weight; one that is injected but
+// undocumented is invisible to operators reading DESIGN.md.
+
+// inventoryConsts parses this package's sources and returns the
+// package-level string constants: ident name → point name.
+func inventoryConsts(t *testing.T) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs := spec.(*ast.ValueSpec)
+					for i, name := range vs.Names {
+						if i >= len(vs.Values) {
+							continue
+						}
+						lit, ok := vs.Values[i].(*ast.BasicLit)
+						if !ok || lit.Kind != token.STRING {
+							continue
+						}
+						val, err := strconv.Unquote(lit.Value)
+						if err != nil {
+							continue
+						}
+						out[name.Name] = val
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// injectArgs scans the repo's non-test production sources for
+// failpoint.Inject call arguments (constant selector or string literal).
+func injectArgs(t *testing.T, root string) map[string]bool {
+	t.Helper()
+	re := regexp.MustCompile(`failpoint\.Inject\(\s*([A-Za-z0-9_.]+|"[^"]*")\s*\)`)
+	args := make(map[string]bool)
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			switch info.Name() {
+			case ".git", "testdata", "third_party":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range re.FindAllStringSubmatch(string(data), -1) {
+			args[m[1]] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return args
+}
+
+func TestInventoryMatchesSitesAndDesignDoc(t *testing.T) {
+	consts := inventoryConsts(t)
+	if len(consts) == 0 {
+		t.Fatal("no string constants found in the failpoint package")
+	}
+
+	root := filepath.Join("..", "..")
+	args := injectArgs(t, root)
+
+	design, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	section := string(design)
+	if i := strings.Index(section, "## The dependability layer"); i >= 0 {
+		section = section[i:]
+		if j := strings.Index(section[2:], "\n## "); j >= 0 {
+			section = section[:j+2]
+		}
+	} else {
+		t.Fatal("DESIGN.md has no dependability-layer section")
+	}
+
+	for ident, name := range consts {
+		if !args["failpoint."+ident] && !args[strconv.Quote(name)] {
+			t.Errorf("registered failpoint %s (%q) has no Inject site in the tree; drop the constant or add the hook", ident, name)
+		}
+		if !strings.Contains(section, "`"+name+"`") {
+			t.Errorf("failpoint %q is injected but not documented in DESIGN.md's dependability section", name)
+		}
+	}
+
+	// The converse: every constant-named site uses a registered constant.
+	// The failpointcheck analyzer proves this at build time; repeating the
+	// string-literal half here keeps the test meaningful under plain
+	// `go test` where the analyzer has not run.
+	byName := make(map[string]bool, len(consts))
+	for _, name := range consts {
+		byName[name] = true
+	}
+	for arg := range args {
+		if !strings.HasPrefix(arg, `"`) {
+			continue
+		}
+		name, err := strconv.Unquote(arg)
+		if err != nil {
+			continue
+		}
+		if !byName[name] {
+			t.Errorf("Inject site uses literal %q which is not in the registered inventory", name)
+		}
+	}
+}

@@ -1,0 +1,341 @@
+// Package atomiccheck proves the access discipline of the repo's
+// lock-free structures — the internal/trace seqlock slots and the
+// pipeline/failpoint/raster statistics words. Two rules:
+//
+// Rule 1 (mixed access): a variable or struct field that is anywhere
+// passed by address to a sync/atomic function (atomic.LoadUint64(&s.gen),
+// atomic.AddInt64(&v, 1), …) must be accessed that way everywhere. One
+// plain load or store on a field that elsewhere synchronises goroutines
+// through sync/atomic is a data race the race detector only catches when
+// a test happens to hit the interleaving; the analyzer catches it on
+// every build. Fields are tracked across packages with analysis facts.
+//
+// Rule 2 (copying): a value of a struct type that contains sync/atomic
+// typed fields (atomic.Uint64, atomic.Pointer[T], …, directly or through
+// nested structs and arrays) must never be copied — by assignment,
+// argument passing, return, range, channel send, composite-literal
+// element, append, or the copy builtin. A copy reads the atomic words
+// non-atomically (torn, unsynchronised) and forks state that was meant
+// to be shared; go vet's copylocks does not cover the atomic types. This
+// is what keeps a refactor from ever writing `rec := ring.slots[i]` and
+// silently defeating the trace seqlock.
+package atomiccheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hdc/internal/lint"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// Name is the analyzer's name, as suppression directives spell it.
+const Name = "atomiccheck"
+
+// Analyzer is the atomiccheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: lint.Doc("check sync/atomic access discipline: no mixed plain access, no copying of atomic-bearing structs",
+		`A field or package-level variable accessed through sync/atomic
+functions anywhere must be accessed through them everywhere (a plain
+read or write races with the atomic sites), and no value of a struct
+type containing sync/atomic typed fields may be copied (the copy tears
+the atomic words and forks shared state). Initialise atomic-bearing
+structs in place behind &T{...} and hand out pointers.`),
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*atomicObj)(nil)},
+	Run:       run,
+}
+
+// atomicObj marks a variable object (field or package-level var) as
+// accessed through sync/atomic somewhere in its declaring package.
+type atomicObj struct{}
+
+func (*atomicObj) AFact() {}
+
+func (*atomicObj) String() string { return "atomic" }
+
+// atomicFuncs are the sync/atomic package functions whose first argument
+// is the address of the synchronised word.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sup := lint.NewSuppressor(pass, Name)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	checkMixedAccess(pass, sup, ins)
+	checkCopies(pass, sup, ins)
+	return nil, nil
+}
+
+// ---- Rule 1: mixed plain/atomic access ----
+
+func checkMixedAccess(pass *analysis.Pass, sup *lint.Suppressor, ins *inspector.Inspector) {
+	// Pass 1: find every `&x` handed to a sync/atomic function; record the
+	// object and remember the identifier nodes that are sanctioned uses.
+	atomicObjs := make(map[types.Object]bool)
+	sanctioned := make(map[*ast.Ident]bool)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn := typeutil.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomicFuncs[fn.Name()] {
+			return
+		}
+		if len(call.Args) == 0 {
+			return
+		}
+		addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok {
+			return
+		}
+		id := lint.ExprIdent(addr.X)
+		if id == nil {
+			return
+		}
+		obj := pass.TypesInfo.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return
+		}
+		// Track fields and package-level vars; locals have no concurrent
+		// aliases worth a cross-function contract.
+		if !v.IsField() && (v.Pkg() == nil || v.Parent() != v.Pkg().Scope()) {
+			return
+		}
+		atomicObjs[v] = true
+		sanctioned[id] = true
+		if v.Pkg() == pass.Pkg {
+			pass.ExportObjectFact(v, &atomicObj{})
+		}
+	})
+
+	// Pass 2: every other use of those objects is a plain access.
+	ins.Preorder([]ast.Node{(*ast.Ident)(nil)}, func(n ast.Node) {
+		id := n.(*ast.Ident)
+		if sanctioned[id] {
+			return
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return
+		}
+		if !atomicObjs[v] && !pass.ImportObjectFact(v, &atomicObj{}) {
+			return
+		}
+		sup.Reportf(id.Pos(), "%s is accessed with sync/atomic elsewhere; this plain access races with those sites", v.Name())
+	})
+}
+
+// ---- Rule 2: copies of atomic-bearing structs ----
+
+// atomicBearer memoises which types transitively contain sync/atomic
+// typed fields.
+type atomicBearer struct {
+	memo typeutil.Map // types.Type → result
+}
+
+// path returns a human-readable chain ("slot.gen: atomic.Uint64") for the
+// first atomic field found in t, or "" when t carries none.
+func (b *atomicBearer) path(t types.Type) string {
+	return b.pathRec(t, make(map[types.Type]bool))
+}
+
+func (b *atomicBearer) pathRec(t types.Type, seen map[types.Type]bool) string {
+	if got := b.memo.At(t); got != nil {
+		return got.(string)
+	}
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	res := ""
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Name() != "noCopy" {
+			res = "atomic." + obj.Name()
+			b.memo.Set(t, res)
+			return res
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if sub := b.pathRec(f.Type(), seen); sub != "" {
+				res = f.Name() + "." + sub
+				break
+			}
+		}
+	case *types.Array:
+		if sub := b.pathRec(u.Elem(), seen); sub != "" {
+			res = "[...]" + sub
+		}
+	}
+	b.memo.Set(t, res)
+	return res
+}
+
+func checkCopies(pass *analysis.Pass, sup *lint.Suppressor, ins *inspector.Inspector) {
+	bearer := &atomicBearer{}
+
+	// report flags e when evaluating it copies an atomic-bearing value:
+	// an addressable read of existing state (identifier, field, index,
+	// deref). Fresh values — composite literals, function-call results —
+	// are initialisations, not copies of shared state.
+	report := func(e ast.Expr, what string) {
+		e = ast.Unparen(e)
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		default:
+			return
+		}
+		t := pass.TypesInfo.TypeOf(e)
+		if t == nil {
+			return
+		}
+		chain := bearer.path(t)
+		if chain == "" {
+			return
+		}
+		sup.Reportf(e.Pos(), "%s copies %s which contains sync/atomic state (%s); the copy is torn and unshared — use a pointer", what, typeStr(t), chain)
+	}
+
+	nodeFilter := []ast.Node{
+		(*ast.AssignStmt)(nil),
+		(*ast.ValueSpec)(nil),
+		(*ast.ReturnStmt)(nil),
+		(*ast.CallExpr)(nil),
+		(*ast.RangeStmt)(nil),
+		(*ast.SendStmt)(nil),
+		(*ast.CompositeLit)(nil),
+		(*ast.FuncDecl)(nil),
+		(*ast.FuncLit)(nil),
+	}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				report(rhs, "assignment")
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				report(v, "declaration")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				report(r, "return")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, sup, bearer, n, report)
+		case *ast.RangeStmt:
+			if n.Value == nil {
+				return
+			}
+			if id, ok := n.Value.(*ast.Ident); ok && id.Name == "_" {
+				return
+			}
+			t := pass.TypesInfo.TypeOf(n.Value)
+			if t == nil {
+				return
+			}
+			if chain := bearer.path(t); chain != "" {
+				sup.Reportf(n.Value.Pos(), "range copies %s elements which contain sync/atomic state (%s); range over indices or pointers", typeStr(t), chain)
+			}
+		case *ast.SendStmt:
+			report(n.Value, "channel send")
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				report(el, "composite literal")
+			}
+		case *ast.FuncDecl:
+			checkSignature(pass, sup, bearer, n.Recv, n.Type)
+		case *ast.FuncLit:
+			checkSignature(pass, sup, bearer, nil, n.Type)
+		}
+	})
+}
+
+// checkCall flags atomic-bearing values passed by value as ordinary call
+// arguments, plus the two builtins that memmove whole element arrays.
+func checkCall(pass *analysis.Pass, sup *lint.Suppressor, bearer *atomicBearer, call *ast.CallExpr, report func(ast.Expr, string)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch pass.TypesInfo.Uses[id].(type) {
+		case *types.Builtin:
+			switch id.Name {
+			case "append", "copy":
+				// append growth and copy both memmove the element array.
+				if len(call.Args) > 0 {
+					if s, ok := pass.TypesInfo.TypeOf(call.Args[0]).Underlying().(*types.Slice); ok {
+						if chain := bearer.path(s.Elem()); chain != "" {
+							sup.Reportf(call.Pos(), "%s moves %s elements which contain sync/atomic state (%s); fixed preallocated storage only", id.Name, typeStr(s.Elem()), chain)
+						}
+					}
+				}
+				return
+			case "len", "cap", "new":
+				return
+			}
+		case *types.TypeName:
+			// Conversion T(x): a copy of x.
+			if len(call.Args) == 1 {
+				report(call.Args[0], "conversion")
+			}
+			return
+		}
+	}
+	if pass.TypesInfo.Types[call.Fun].IsType() {
+		if len(call.Args) == 1 {
+			report(call.Args[0], "conversion")
+		}
+		return
+	}
+	for _, arg := range call.Args {
+		report(arg, "call argument")
+	}
+}
+
+// checkSignature flags by-value receivers, parameters and results whose
+// types carry atomic state.
+func checkSignature(pass *analysis.Pass, sup *lint.Suppressor, bearer *atomicBearer, recv *ast.FieldList, ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := pass.TypesInfo.TypeOf(f.Type)
+			if t == nil {
+				continue
+			}
+			if chain := bearer.path(t); chain != "" {
+				sup.Reportf(f.Type.Pos(), "%s %s is passed by value but contains sync/atomic state (%s); use *%s", what, typeStr(t), chain, typeStr(t))
+			}
+		}
+	}
+	check(recv, "receiver")
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+}
+
+func typeStr(t types.Type) string {
+	s := t.String()
+	// Trim the module path noise: hdc/internal/trace.slot → trace.slot.
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}

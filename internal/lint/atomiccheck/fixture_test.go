@@ -1,0 +1,12 @@
+package atomiccheck_test
+
+import (
+	"testing"
+
+	"hdc/internal/lint/atomiccheck"
+	"hdc/internal/lint/linttest"
+)
+
+func TestFixture(t *testing.T) {
+	linttest.Run(t, atomiccheck.Name, "testdata/fixture")
+}

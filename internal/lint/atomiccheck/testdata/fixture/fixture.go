@@ -1,0 +1,55 @@
+// Package fixture exercises atomiccheck's two rules on the shapes the
+// real tree uses: plain words synchronised through sync/atomic functions
+// (rule 1) and structs carrying sync/atomic types, like the trace
+// seqlock slots (rule 2).
+package fixture
+
+import "sync/atomic"
+
+// stats mirrors the pipeline statistics words.
+type stats struct {
+	frames uint64
+	label  string
+}
+
+var s stats
+
+func record() {
+	atomic.AddUint64(&s.frames, 1)
+}
+
+func snapshot() uint64 {
+	return atomic.LoadUint64(&s.frames)
+}
+
+// racyRead races with record and snapshot.
+func racyRead() uint64 {
+	return s.frames // want "frames is accessed with sync/atomic elsewhere"
+}
+
+// labelRead touches only the non-atomic field: clean.
+func labelRead() string {
+	return s.label
+}
+
+// initRead runs before any goroutine exists; the race is structurally
+// impossible and the suppression says why.
+func initRead() uint64 {
+	//hdclint:ignore atomiccheck called from init before any goroutine is spawned; no concurrent writer exists yet
+	return s.frames
+}
+
+// slot mirrors the trace seqlock slot: copying it tears gen.
+type slot struct {
+	gen atomic.Uint64
+}
+
+func tear(sl *slot) (out slot) { // want "result lintfixture.slot is passed by value"
+	out = *sl // want "assignment copies lintfixture.slot"
+	return
+}
+
+// viaPointer is the blessed shape: hand out pointers, never values.
+func viaPointer(sl *slot) *slot {
+	return sl
+}

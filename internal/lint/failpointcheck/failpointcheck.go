@@ -1,0 +1,147 @@
+// Package failpointcheck proves the failpoint inventory's contracts:
+// every failpoint.Inject site names its point with a compile-time
+// constant string (so the inventory is greppable and /failpointz,
+// HDC_FAILPOINTS and the chaos suite can address every site), the name
+// is well-formed ("layer/site", lowercase), it is registered as a
+// constant in the failpoint package itself (the canonical, documented
+// list), and no two Inject sites share a name (shared names make hit
+// counters ambiguous). Test files are exempt from registration and
+// uniqueness — unit tests legitimately exercise ad-hoc points — but not
+// from the constant-string and format rules.
+package failpointcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+
+	"hdc/internal/lint"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// FailpointPath is the import path of the registry package whose Inject
+// calls are checked and whose string constants form the registered set.
+const FailpointPath = "hdc/internal/failpoint"
+
+// Name is the analyzer's name, as suppression directives spell it.
+const Name = "failpointcheck"
+
+// Analyzer is the failpointcheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: lint.Doc("check that failpoint.Inject names are constant, registered, well-formed and unique",
+		`failpoint.Inject(name) must be called with a constant string of the
+form "layer/site" (lowercase letters, digits, dashes) that is declared as
+a constant in `+FailpointPath+` — the canonical inventory that DESIGN.md
+documents and the chaos suite enumerates. Each name belongs to exactly
+one Inject site, across packages (uniqueness is tracked with analysis
+facts along the import graph).`),
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*usedNames)(nil)},
+	Run:       run,
+}
+
+// usedNames is the package fact recording which failpoint names this
+// package's non-test Inject sites consume, so downstream packages can
+// detect cross-package duplicates.
+type usedNames struct {
+	Names []string
+}
+
+func (*usedNames) AFact() {}
+
+func (f *usedNames) String() string { return fmt.Sprintf("failpoints(%v)", f.Names) }
+
+var nameRE = regexp.MustCompile(`^[a-z0-9]+(-[a-z0-9]+)*/[a-z0-9]+(-[a-z0-9]+)*$`)
+
+func run(pass *analysis.Pass) (any, error) {
+	sup := lint.NewSuppressor(pass, Name)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	registered := registeredNames(pass)
+
+	// seen maps name → true for non-test Inject sites of this package and
+	// its dependencies.
+	seen := make(map[string]string) // name → where (package path)
+	for _, imp := range pass.Pkg.Imports() {
+		var fact usedNames
+		if pass.ImportPackageFact(imp, &fact) {
+			for _, n := range fact.Names {
+				seen[n] = imp.Path()
+			}
+		}
+	}
+
+	var local []string
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn := typeutil.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != FailpointPath || fn.Name() != "Inject" {
+			return
+		}
+		if len(call.Args) != 1 {
+			return
+		}
+		arg := call.Args[0]
+		tv := pass.TypesInfo.Types[arg]
+		if tv.Value == nil || tv.Value.Kind() != constant.String {
+			sup.Reportf(arg.Pos(), "failpoint.Inject needs a constant string name, not a computed value")
+			return
+		}
+		name := constant.StringVal(tv.Value)
+		if !nameRE.MatchString(name) {
+			sup.Reportf(arg.Pos(), "failpoint name %q is not of the form layer/site (lowercase letters, digits, dashes)", name)
+			return
+		}
+		if lint.InTestFile(pass.Fset, arg.Pos()) {
+			return
+		}
+		if !registered[name] {
+			sup.Reportf(arg.Pos(), "failpoint name %q is not declared as a constant in %s; register it there so the inventory stays canonical", name, FailpointPath)
+		}
+		if where, dup := seen[name]; dup {
+			sup.Reportf(arg.Pos(), "failpoint name %q is already injected in %s; hit counters need one site per name", name, where)
+		} else {
+			seen[name] = pass.Pkg.Path()
+			local = append(local, name)
+		}
+	})
+	if len(local) > 0 {
+		pass.ExportPackageFact(&usedNames{Names: local})
+	}
+	return nil, nil
+}
+
+// registeredNames collects the string constants declared at package level
+// in the failpoint package — the canonical inventory.
+func registeredNames(pass *analysis.Pass) map[string]bool {
+	var scope *types.Scope
+	if pass.Pkg.Path() == FailpointPath {
+		scope = pass.Pkg.Scope()
+	} else {
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Path() == FailpointPath {
+				scope = imp.Scope()
+				break
+			}
+		}
+	}
+	out := make(map[string]bool)
+	if scope == nil {
+		return out
+	}
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Val().Kind() != constant.String {
+			continue
+		}
+		out[constant.StringVal(c.Val())] = true
+	}
+	return out
+}

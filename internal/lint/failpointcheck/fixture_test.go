@@ -1,0 +1,12 @@
+package failpointcheck_test
+
+import (
+	"testing"
+
+	"hdc/internal/lint/failpointcheck"
+	"hdc/internal/lint/linttest"
+)
+
+func TestFixture(t *testing.T) {
+	linttest.Run(t, failpointcheck.Name, "testdata/fixture")
+}

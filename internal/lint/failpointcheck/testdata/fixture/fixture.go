@@ -1,0 +1,36 @@
+// Package fixture exercises failpointcheck against the real registry:
+// the four diagnostic classes (duplicate, unregistered, malformed,
+// non-constant) and a justified suppression.
+package fixture
+
+import "hdc/internal/failpoint"
+
+func hit() error {
+	// Registered, well-formed, first use in this package: clean.
+	if err := failpoint.Inject(failpoint.StoreLookup); err != nil {
+		return err
+	}
+	// The same name a second time makes hit counters ambiguous.
+	if err := failpoint.Inject("store/lookup"); err != nil { // want "already injected"
+		return err
+	}
+	// Well-formed but absent from the canonical inventory.
+	if err := failpoint.Inject("fixture/not-registered"); err != nil { // want "not declared as a constant"
+		return err
+	}
+	// Not of the layer/site shape.
+	if err := failpoint.Inject("NotASite"); err != nil { // want "not of the form layer/site"
+		return err
+	}
+	// Computed names defeat grepping and the /failpointz inventory.
+	if err := failpoint.Inject(pick()); err != nil { // want "constant string name"
+		return err
+	}
+	//hdclint:ignore failpointcheck renamed site fires under both names during the one-release migration window
+	if err := failpoint.Inject("store/lookup"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func pick() string { return "server/decode" }

@@ -1,0 +1,131 @@
+// Package lint is the repo-invariant static-analysis suite behind
+// cmd/hdclint: golang.org/x/tools/go/analysis analyzers that prove, at
+// compile time, the hand-maintained contracts the hot path rests on.
+// Chaos runs and reviewer vigilance used to be the only defence of these
+// invariants; encoding them as analyzers lets the ROADMAP's "refactor
+// freely" stance survive aggressive rewrites (the DORA argument: dataflow
+// buffers moving between nodes are only safe under machine-checked
+// ownership contracts).
+//
+// The suite (see each subpackage for the precise rules):
+//
+//   - poolcheck: a pooled frame obtained from raster.Pool.Get must, on
+//     every control-flow path, be recycled or handed to a transfer point.
+//   - atomiccheck: a field accessed through sync/atomic is never touched
+//     with a plain load/store, and no value of a struct type containing
+//     sync/atomic fields (the trace seqlock slots) is ever copied.
+//   - failpointcheck: failpoint.Inject takes only constant, registered,
+//     well-formed, unique point names.
+//   - sentinelerr: wrapped sentinel errors are matched with errors.Is,
+//     never ==/!=.
+//
+// # Suppression
+//
+// Every diagnostic can be silenced, with justification, by a directive
+// comment on the flagged line or the line directly above it:
+//
+//	//hdclint:ignore <analyzer> <justification>
+//
+// The justification is mandatory: a directive without one is itself a
+// diagnostic. Suppression is for the rare true-but-intended case — a
+// pre-publication plain store into a not-yet-shared struct, an identity
+// comparison that really means identity — and the justification is the
+// reviewer-facing record of why the contract does not apply. An
+// unrecognised analyzer name suppresses nothing, so a typo fails loudly
+// (the original diagnostic still fires).
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// ignorePrefix is the directive comment marker, without the leading "//".
+const ignorePrefix = "hdclint:ignore"
+
+// Suppressor filters one analyzer's diagnostics through the
+// //hdclint:ignore directives of the files under analysis. Build one per
+// pass with NewSuppressor and report exclusively through Reportf.
+type Suppressor struct {
+	pass  *analysis.Pass
+	check string
+	// suppressed maps filename → set of line numbers on which diagnostics
+	// from this analyzer are ignored. A directive covers its own line and
+	// the next, so it works both as a trailing and a standalone comment.
+	suppressed map[string]map[int]bool
+}
+
+// NewSuppressor scans the pass's files for //hdclint:ignore directives
+// naming check, reporting any such directive that lacks a justification.
+func NewSuppressor(pass *analysis.Pass, check string) *Suppressor {
+	s := &Suppressor{pass: pass, check: check, suppressed: make(map[string]map[int]bool)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+				if len(fields) == 0 || fields[0] != check {
+					continue
+				}
+				if len(fields) == 1 {
+					pass.Reportf(c.Pos(), "hdclint:ignore %s directive needs a justification", check)
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				lines := s.suppressed[p.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					s.suppressed[p.Filename] = lines
+				}
+				lines[p.Line] = true
+				lines[p.Line+1] = true
+			}
+		}
+	}
+	return s
+}
+
+// Reportf reports a diagnostic at pos unless a directive suppresses it.
+// It returns whether the diagnostic was emitted.
+func (s *Suppressor) Reportf(pos token.Pos, format string, args ...any) bool {
+	p := s.pass.Fset.Position(pos)
+	if lines, ok := s.suppressed[p.Filename]; ok && lines[p.Line] {
+		return false
+	}
+	s.pass.Reportf(pos, format, args...)
+	return true
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Some contracts
+// (failpoint name registration and uniqueness) are relaxed there: tests
+// legitimately exercise ad-hoc points.
+func InTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// Doc assembles an analyzer doc string from a one-line summary and detail
+// paragraphs, appending the shared suppression contract.
+func Doc(summary string, detail string) string {
+	return summary + "\n\n" + detail + "\n\n" +
+		"Suppress a diagnostic with `//hdclint:ignore <analyzer> <justification>`\n" +
+		"on the flagged line or the line above; the justification is mandatory."
+}
+
+// ExprIdent returns the identifier an expression resolves to, looking
+// through parentheses; nil when the expression is not a plain identifier.
+func ExprIdent(e ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+// Package linttest is the golden-fixture harness for the hdclint
+// analyzers. A fixture is a directory of Go source under an analyzer's
+// testdata/ annotated with expectation comments:
+//
+//	g := pool.Get(64, 64) // want "leaks"
+//
+// Each `// want "re"` declares that the analyzer under test must report
+// a diagnostic on that line matching the regular expression; every
+// diagnostic the analyzer reports must be declared. Lines carrying an
+// //hdclint:ignore directive double as the suppression half of the
+// golden contract: the fixture compiles the suppressed violation and the
+// harness verifies no diagnostic escapes it.
+//
+// Fixtures run through the real toolchain: the harness materialises the
+// fixture as a module that requires hdc (replaced by this repo, so
+// fixtures exercise the analyzers against the real raster/failpoint
+// types), builds cmd/hdclint once, and drives `go vet -vettool -json`
+// over it — the exact configuration CI gates on, facts and export data
+// included.
+package linttest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// diag is one parsed go vet JSON diagnostic.
+type diag struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+var (
+	buildOnce sync.Once
+	buildErr  error
+	toolPath  string
+	rootPath  string
+)
+
+// repoRoot locates the hdc module root from the test's working directory.
+func repoRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// buildTool compiles cmd/hdclint once per test process.
+func buildTool() (string, string, error) {
+	buildOnce.Do(func() {
+		rootPath, buildErr = repoRoot()
+		if buildErr != nil {
+			return
+		}
+		dir, err := os.MkdirTemp("", "hdclint-test-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		toolPath = filepath.Join(dir, "hdclint")
+		cmd := exec.Command("go", "build", "-o", toolPath, "hdc/cmd/hdclint")
+		cmd.Dir = rootPath
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("building hdclint: %v\n%s", err, out)
+		}
+	})
+	return toolPath, rootPath, buildErr
+}
+
+// Run drives the named analyzer over the fixture directory (relative to
+// the calling test's package, conventionally "testdata/<name>") and
+// enforces its want comments.
+func Run(t *testing.T, analyzer, fixtureDir string) {
+	t.Helper()
+	tool, root, err := buildTool()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mod := t.TempDir()
+	if err := copyTree(fixtureDir, mod); err != nil {
+		t.Fatalf("copying fixture: %v", err)
+	}
+	// The module path must sit under hdc/ so the fixture may import the
+	// repo's internal packages (the internal rule is path-prefix based).
+	gomod := fmt.Sprintf(`module hdc/lintfixture
+
+go 1.22
+
+require hdc v0.0.0
+
+replace hdc => %s
+
+replace golang.org/x/tools => %s
+`, root, filepath.Join(root, "third_party", "golang.org", "x", "tools"))
+	if err := os.WriteFile(filepath.Join(mod, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// go vet writes the -json stream (and everything else) to stderr. With
+	// -json, diagnostics alone exit zero; a non-zero exit means a hard
+	// failure — a compile error in the fixture, a broken vettool.
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "-json", "./...")
+	cmd.Dir = mod
+	cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=-mod=mod")
+	out, runErr := cmd.CombinedOutput()
+	if runErr != nil {
+		t.Fatalf("go vet failed: %v\noutput:\n%s", runErr, out)
+	}
+
+	got, parseErr := parseVetJSON(string(out), analyzer)
+	if parseErr != nil {
+		t.Fatalf("parsing go vet -json output: %v\noutput:\n%s", parseErr, out)
+	}
+
+	wants := parseWants(t, fixtureDir)
+	check(t, mod, got, wants)
+}
+
+// parseVetJSON extracts the named analyzer's diagnostics from go vet's
+// -json stream: `# pkg` comment lines interleaved with JSON objects of
+// shape {"pkgid": {"analyzer": [diag, ...]}}.
+func parseVetJSON(out, analyzer string) ([]diag, error) {
+	var clean strings.Builder
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		clean.WriteString(line)
+		clean.WriteString("\n")
+	}
+	dec := json.NewDecoder(strings.NewReader(clean.String()))
+	var diags []diag
+	for dec.More() {
+		var pkg map[string]map[string][]diag
+		if err := dec.Decode(&pkg); err != nil {
+			return nil, err
+		}
+		for _, byAnalyzer := range pkg {
+			diags = append(diags, byAnalyzer[analyzer]...)
+		}
+	}
+	return diags, nil
+}
+
+// want is one expectation: a diagnostic matching re on (file, line).
+type want struct {
+	file string // fixture-relative path
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var strRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// parseWants scans the fixture sources for `// want "re"` comments.
+func parseWants(t *testing.T, fixtureDir string) []*want {
+	t.Helper()
+	var wants []*want
+	err := filepath.Walk(fixtureDir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(fixtureDir, path)
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			strs := strRE.FindAllStringSubmatch(m[1], -1)
+			if len(strs) == 0 {
+				return fmt.Errorf("%s:%d: want comment with no quoted pattern", rel, i+1)
+			}
+			for _, s := range strs {
+				re, err := regexp.Compile(s[1])
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want pattern: %v", rel, i+1, err)
+				}
+				wants = append(wants, &want{file: rel, line: i + 1, re: re})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// check matches diagnostics against wants one-to-one by (file, line, re).
+func check(t *testing.T, mod string, got []diag, wants []*want) {
+	t.Helper()
+	for _, d := range got {
+		file, line := splitPosn(d.Posn, mod)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == file && w.line == line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", file, line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// splitPosn turns "/tmp/mod/file.go:12:3" into ("file.go", 12).
+func splitPosn(posn, mod string) (string, int) {
+	rest := posn
+	if rel, err := filepath.Rel(mod, posn); err == nil && !strings.HasPrefix(rel, "..") {
+		rest = rel
+	}
+	parts := strings.Split(rest, ":")
+	if len(parts) < 2 {
+		return rest, 0
+	}
+	var line int
+	fmt.Sscanf(parts[1], "%d", &line)
+	return parts[0], line
+}
+
+// copyTree copies the fixture sources into the scratch module.
+func copyTree(src, dst string) error {
+	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, info.Mode().Perm())
+	})
+}

@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"hdc/internal/lint/linttest"
+	"hdc/internal/lint/poolcheck"
+)
+
+func TestFixture(t *testing.T) {
+	linttest.Run(t, poolcheck.Name, "testdata/fixture")
+}

@@ -1,0 +1,381 @@
+// Package poolcheck proves the pooled-frame ownership contract: a frame
+// obtained from raster.Pool.Get must, on every control-flow path out of
+// the obtaining function, be recycled (Pool.Put) or handed to a transfer
+// point — Stream.Submit, Source.Offer, a drop hook, a helper, a
+// composite literal, a return value, a field store. PR 4 and PR 7 each
+// fixed a leak of exactly this class by hand (abandoned streams, failed
+// submits); the analyzer flags the next one at build time.
+//
+// The check is intra-procedural and conservative in the direction of
+// silence: any appearance of the frame variable as a call argument,
+// return value, stored value, channel send or composite-literal element
+// counts as a hand-off (whether the callee honours the contract is that
+// callee's analysis), aliasing (&v, closure capture) disables tracking,
+// and paths on which the variable is provably nil (Get's invalid-dims
+// result, guarded by `if v == nil`) or reassigned are not leaks. What
+// remains — a path from Get to a return on which the frame is never
+// mentioned again — is precisely the leak class.
+package poolcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hdc/internal/lint"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// getters are the fully-qualified methods whose result is an owned pooled
+// buffer that the caller must recycle or transfer.
+var getters = map[string]bool{
+	"(*hdc/internal/raster.Pool).Get": true,
+}
+
+// Name is the analyzer's name, as suppression directives spell it.
+const Name = "poolcheck"
+
+// Analyzer is the poolcheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: lint.Doc("check that every pooled frame is recycled or handed off on every path",
+		`A buffer obtained from raster.Pool.Get is owned by the obtaining
+function until it passes it onward: back to the pool with Put, into a
+transfer point (Stream.Submit, Source.Offer, a drop hook), into a helper,
+a struct, a slice, a channel, or out through a return. A control-flow
+path that reaches a return without any such hand-off leaks the frame —
+the pool's gets/puts balance drifts and steady-state traffic slowly
+strands buffers.`),
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sup := lint.NewSuppressor(pass, Name)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		call := n.(*ast.CallExpr)
+		fn := typeutil.StaticCallee(pass.TypesInfo, call)
+		if fn == nil || !getters[fn.FullName()] {
+			return true
+		}
+		v, getStmt := trackedVar(pass, call, stack)
+		if v == nil {
+			return true // result consumed where it is produced
+		}
+		g := enclosingCFG(cfgs, stack)
+		if g == nil {
+			return true
+		}
+		body := enclosingBody(stack)
+		if body == nil || aliased(pass, body, v) {
+			return true
+		}
+		parents := parentMap(body)
+		if pos, leaks := findLeak(pass, g, getStmt, v, parents); leaks {
+			sup.Reportf(call.Pos(), "pooled frame %s leaks: the path reaching the return at line %d neither recycles it (Put) nor hands it off",
+				v.Name(), pass.Fset.Position(pos).Line)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// trackedVar returns the local variable the Get result is bound to, with
+// the binding statement, or nil when the result is consumed in place
+// (used directly as an argument, element or return) or bound to anything
+// but a simple identifier.
+func trackedVar(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) (*types.Var, ast.Stmt) {
+	if len(stack) < 2 {
+		return nil, nil
+	}
+	parent := stack[len(stack)-2]
+	assign, ok := parent.(*ast.AssignStmt)
+	if !ok || len(assign.Rhs) != 1 || ast.Unparen(assign.Rhs[0]) != call || len(assign.Lhs) != 1 {
+		return nil, nil
+	}
+	id, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, nil
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil, nil
+	}
+	return v, assign
+}
+
+// enclosingCFG resolves the control-flow graph of the innermost function
+// containing the call.
+func enclosingCFG(cfgs *ctrlflow.CFGs, stack []ast.Node) *cfg.CFG {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			return cfgs.FuncLit(f)
+		case *ast.FuncDecl:
+			return cfgs.FuncDecl(f)
+		}
+	}
+	return nil
+}
+
+// enclosingBody returns the innermost function body containing the call.
+func enclosingBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			return f.Body
+		case *ast.FuncDecl:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// aliased reports whether v's address is taken or v is captured by a
+// nested function literal, go or defer — cases where the frame has other
+// routes to a recycle and path tracking would only produce noise. A defer
+// or closure that mentions v runs on (or outlives) every exit, so it also
+// satisfies "consumed on every path".
+func aliased(pass *analysis.Pass, body *ast.BlockStmt, v *types.Var) bool {
+	var found bool
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+					found = true
+				}
+				return !found
+			})
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id := lint.ExprIdent(n.X); id != nil && pass.TypesInfo.Uses[id] == v {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// parentMap records each node's syntactic parent within body, so a use of
+// the tracked variable can be classified by its immediate context.
+func parentMap(body *ast.BlockStmt) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// usage classifies what one CFG node does with v.
+type usage int
+
+const (
+	usageNone    usage = iota // v not mentioned, or only read (v.Pix, v == nil)
+	usageConsume              // handed off: call arg, return, store, send, element
+	usageKill                 // v reassigned; the tracked buffer is no longer reachable here
+)
+
+// classify inspects one flattened CFG node for uses of v.  Consume wins
+// over kill when a single statement does both (`other, v = v, next`).
+func classify(pass *analysis.Pass, n ast.Node, v *types.Var, parents map[ast.Node]ast.Node) usage {
+	res := usageNone
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pass.TypesInfo.Uses[id] != v && pass.TypesInfo.Defs[id] != v {
+			return true
+		}
+		switch u := useOf(id, parents); u {
+		case usageConsume:
+			res = usageConsume
+			return false
+		case usageKill:
+			if res == usageNone {
+				res = usageKill
+			}
+		}
+		return true
+	})
+	return res
+}
+
+// useOf classifies a single identifier occurrence by its parent context.
+func useOf(id *ast.Ident, parents map[ast.Node]ast.Node) usage {
+	var child ast.Node = id
+	parent := parents[child]
+	for {
+		p, ok := parent.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		child = p
+		parent = parents[p]
+	}
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		for _, a := range p.Args {
+			if ast.Unparen(a) == child {
+				return usageConsume
+			}
+		}
+	case *ast.ReturnStmt:
+		return usageConsume
+	case *ast.CompositeLit:
+		return usageConsume
+	case *ast.KeyValueExpr:
+		if p.Value == child {
+			return usageConsume
+		}
+	case *ast.SendStmt:
+		if p.Value == child {
+			return usageConsume
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return usageConsume // aliased; pre-filtered, but be safe
+		}
+	case *ast.AssignStmt:
+		for _, r := range p.Rhs {
+			if ast.Unparen(r) == child {
+				// A plain alias or store transfers ownership unless every
+				// destination is blank.
+				for _, l := range p.Lhs {
+					if li, ok := l.(*ast.Ident); !ok || li.Name != "_" {
+						return usageConsume
+					}
+				}
+				return usageNone
+			}
+		}
+		for _, l := range p.Lhs {
+			if ast.Unparen(l) == child {
+				return usageKill
+			}
+		}
+	}
+	return usageNone
+}
+
+// findLeak walks the CFG from the statement binding the Get result and
+// reports the first path that reaches a return without consuming v.
+func findLeak(pass *analysis.Pass, g *cfg.CFG, getStmt ast.Stmt, v *types.Var, parents map[ast.Node]ast.Node) (token.Pos, bool) {
+	// Locate the binding statement in the flattened graph.
+	startBlock, startIdx := -1, -1
+	for bi, b := range g.Blocks {
+		for ni, n := range b.Nodes {
+			if n == ast.Node(getStmt) {
+				startBlock, startIdx = bi, ni
+				break
+			}
+		}
+		if startBlock >= 0 {
+			break
+		}
+	}
+	if startBlock < 0 {
+		return token.NoPos, false
+	}
+
+	visited := make(map[*cfg.Block]bool)
+	var leakAt token.Pos
+
+	var walk func(b *cfg.Block, idx int) bool // true → leak found
+	walk = func(b *cfg.Block, idx int) bool {
+		for i := idx; i < len(b.Nodes); i++ {
+			switch classify(pass, b.Nodes[i], v, parents) {
+			case usageConsume, usageKill:
+				return false
+			}
+		}
+		if len(b.Succs) == 0 {
+			if len(b.Nodes) > 0 {
+				if ret, ok := b.Nodes[len(b.Nodes)-1].(*ast.ReturnStmt); ok {
+					leakAt = ret.Pos()
+					return true
+				}
+			}
+			return false // panic or runtime exit: not a leak path
+		}
+		for _, succ := range b.Succs {
+			if nilGuarded(pass, succ, v) {
+				continue
+			}
+			if visited[succ] {
+				continue
+			}
+			visited[succ] = true
+			if walk(succ, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	// The binding statement itself may sit mid-block; continue after it.
+	return leakAt, walk(g.Blocks[startBlock], startIdx+1)
+}
+
+// nilGuarded reports whether entering succ implies v == nil (the then
+// branch of `if v == nil`, the else branch of `if v != nil`): the pool
+// returned nothing there, so the path cannot leak.
+func nilGuarded(pass *analysis.Pass, succ *cfg.Block, v *types.Var) bool {
+	var wantOp token.Token
+	switch succ.Kind {
+	case cfg.KindIfThen:
+		wantOp = token.EQL
+	case cfg.KindIfElse:
+		wantOp = token.NEQ
+	default:
+		return false
+	}
+	ifStmt, ok := succ.Stmt.(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	bin, ok := ast.Unparen(ifStmt.Cond).(*ast.BinaryExpr)
+	if !ok || bin.Op != wantOp {
+		return false
+	}
+	isV := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == v
+	}
+	isNil := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+		return ok && tv.IsNil()
+	}
+	return (isV(bin.X) && isNil(bin.Y)) || (isV(bin.Y) && isNil(bin.X))
+}

@@ -1,0 +1,61 @@
+// Package fixture exercises poolcheck against the real raster.Pool: a
+// leak on one path, the accepted hand-off and nil-guard shapes, and a
+// justified suppression.
+package fixture
+
+import "hdc/internal/raster"
+
+var pool raster.Pool
+
+// leaky loses the frame on the early-return path: nothing recycles or
+// hands off g before the bare return.
+func leaky(fail bool) {
+	g := pool.Get(8, 8) // want "pooled frame g leaks"
+	if fail {
+		return
+	}
+	pool.Put(g)
+}
+
+// balanced recycles on the error path and hands off on the happy path.
+func balanced(fail bool) {
+	g := pool.Get(8, 8)
+	if fail {
+		pool.Put(g)
+		return
+	}
+	consume(g)
+}
+
+// nilGuarded returns early only when the pool returned nothing; that
+// path cannot leak.
+func nilGuarded() {
+	g := pool.Get(-1, -1)
+	if g == nil {
+		return
+	}
+	pool.Put(g)
+}
+
+// deferred recycles through a defer, which runs on every exit.
+func deferred(fail bool) {
+	g := pool.Get(8, 8)
+	defer pool.Put(g)
+	if fail {
+		return
+	}
+	g.Pix[0] = 1
+}
+
+// oneShot leaks deliberately: the debug path trades a stranded buffer
+// for a stable snapshot, and says so.
+func oneShot(debug bool) {
+	//hdclint:ignore poolcheck debug snapshot keeps the frame; the pool refills on demand and the leak is bounded by one
+	g := pool.Get(8, 8)
+	if debug {
+		return
+	}
+	pool.Put(g)
+}
+
+func consume(g *raster.Gray) { pool.Put(g) }

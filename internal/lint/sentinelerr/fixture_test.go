@@ -1,0 +1,12 @@
+package sentinelerr_test
+
+import (
+	"testing"
+
+	"hdc/internal/lint/linttest"
+	"hdc/internal/lint/sentinelerr"
+)
+
+func TestFixture(t *testing.T) {
+	linttest.Run(t, sentinelerr.Name, "testdata/fixture")
+}

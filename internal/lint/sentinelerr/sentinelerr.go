@@ -1,0 +1,150 @@
+// Package sentinelerr flags ==/!= comparisons against sentinel error
+// variables. The repo wraps its sentinels as a matter of course —
+// failpoint-injected faults wrap failpoint.ErrInjected, the recognizer
+// and store annotate errors with fmt.Errorf("...: %w", err) — so an
+// identity comparison like `err == ErrClosed` silently stops matching the
+// moment a layer in between adds context. errors.Is is the only
+// comparison that survives wrapping.
+package sentinelerr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hdc/internal/lint"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Name is the analyzer's name, as suppression directives spell it.
+const Name = "sentinelerr"
+
+// Analyzer is the sentinelerr analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: lint.Doc("check that sentinel errors are matched with errors.Is, not ==/!=",
+		`A comparison of an error value against a package-level error variable
+(a sentinel such as pipeline.ErrClosed or failpoint.ErrInjected) with ==
+or !=, or a switch over an error value with sentinel cases, misses every
+wrapped form of that sentinel. Use errors.Is. Comparisons against nil and
+comparisons inside an Is(error) bool method (where errors.Is hands the
+callee an already-unwrapped target) are exempt.`),
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sup := lint.NewSuppressor(pass, Name)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{
+		(*ast.BinaryExpr)(nil),
+		(*ast.SwitchStmt)(nil),
+		(*ast.FuncDecl)(nil),
+	}
+	// Stack of enclosing FuncDecls so comparisons inside Is(error) bool
+	// methods can be exempted.
+	var funcs []*ast.FuncDecl
+	ins.Nodes(nodeFilter, func(n ast.Node, push bool) bool {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			if push {
+				funcs = append(funcs, fd)
+			} else {
+				funcs = funcs[:len(funcs)-1]
+			}
+			return true
+		}
+		if !push {
+			return true
+		}
+		if len(funcs) > 0 && isIsMethod(pass, funcs[len(funcs)-1]) {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			var sentinel types.Object
+			if s := sentinelObj(pass, n.X); s != nil && isErrorExpr(pass, n.Y) {
+				sentinel = s
+			} else if s := sentinelObj(pass, n.Y); s != nil && isErrorExpr(pass, n.X) {
+				sentinel = s
+			}
+			if sentinel != nil {
+				sup.Reportf(n.OpPos, "%s comparison against sentinel %s misses wrapped errors; use errors.Is", n.Op, sentinel.Name())
+			}
+		case *ast.SwitchStmt:
+			if n.Tag == nil || !isErrorExpr(pass, n.Tag) {
+				return true
+			}
+			for _, stmt := range n.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if s := sentinelObj(pass, e); s != nil {
+						sup.Reportf(e.Pos(), "switch case on sentinel %s misses wrapped errors; use errors.Is", s.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// sentinelObj returns the package-level error variable e resolves to, or
+// nil when e is anything else (nil, a local, a call, a non-error var).
+func sentinelObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	id := lint.ExprIdent(e)
+	if id == nil {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// isErrorExpr reports whether e has the error interface type and is not
+// the untyped nil literal.
+func isErrorExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	if !ok || tv.IsNil() {
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorType)
+}
+
+// isIsMethod reports whether fd is a method named Is with the
+// func(error) bool shape errors.Is probes for. Inside it, identity
+// comparison against a sentinel is the intended semantics: errors.Is has
+// already unwrapped the target before calling it.
+func isIsMethod(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || fd.Name.Name != "Is" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Params().Len() == 1 && isErrorType(sig.Params().At(0).Type()) &&
+		sig.Results().Len() == 1 && types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
+}

@@ -1,0 +1,49 @@
+// Package fixture exercises sentinelerr: identity comparisons and
+// switch cases on sentinels (including a real always-wrapped one,
+// failpoint.ErrInjected), the exempt shapes, and a justified
+// suppression.
+package fixture
+
+import (
+	"errors"
+
+	"hdc/internal/failpoint"
+)
+
+// ErrClosed is a local sentinel in the style of pipeline.ErrClosed.
+var ErrClosed = errors.New("fixture: closed")
+
+func classify(err error) string {
+	if err == failpoint.ErrInjected { // want "== comparison against sentinel ErrInjected"
+		return "injected"
+	}
+	if err != ErrClosed { // want "!= comparison against sentinel ErrClosed"
+		return "open"
+	}
+	switch err {
+	case ErrClosed: // want "switch case on sentinel ErrClosed"
+		return "closed"
+	}
+	if err == nil { // nil tests are identity by definition: clean
+		return "ok"
+	}
+	if errors.Is(err, ErrClosed) { // the blessed form: clean
+		return "closed"
+	}
+	return "other"
+}
+
+// wrapped's Is method gets identity semantics: errors.Is has already
+// unwrapped the target when it calls it, so the comparison is exempt.
+type wrapped struct{ err error }
+
+func (w *wrapped) Error() string { return w.err.Error() }
+
+func (w *wrapped) Is(target error) bool { return target == ErrClosed }
+
+// bareExactly distinguishes the bare sentinel from wrapped forms on
+// purpose — the rare case identity comparison is the semantics.
+func bareExactly(err error) bool {
+	//hdclint:ignore sentinelerr distinguishing the bare sentinel from wrapped forms is the point of this helper
+	return err == ErrClosed
+}

@@ -1,0 +1,23 @@
+// Package suite enumerates the hdclint analyzers. cmd/hdclint registers
+// exactly this list, and the fixture harness iterates it, so an analyzer
+// cannot join the suite without golden fixtures.
+package suite
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"hdc/internal/lint/atomiccheck"
+	"hdc/internal/lint/failpointcheck"
+	"hdc/internal/lint/poolcheck"
+	"hdc/internal/lint/sentinelerr"
+)
+
+// Analyzers returns the hdclint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		poolcheck.Analyzer,
+		atomiccheck.Analyzer,
+		failpointcheck.Analyzer,
+		sentinelerr.Analyzer,
+	}
+}

@@ -1,6 +1,7 @@
 package recognizer
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -72,7 +73,7 @@ func sweepOne(r *Recognizer, rend *scene.Renderer, s body.Sign, v scene.View,
 			trialRng = rng
 		}
 		res, err := r.RecognizeView(rend, s, v, opts, trialRng)
-		if err != nil && err != ErrNoSign {
+		if err != nil && !errors.Is(err, ErrNoSign) {
 			// Vision failures (e.g. silhouette fell apart) count as misses,
 			// not harness errors — that IS the dead-angle phenomenon.
 			continue

@@ -205,3 +205,27 @@ func TestDeadlineForwarded(t *testing.T) {
 		t.Fatalf("forwarded deadline %dms, want within (0, 400]", ms)
 	}
 }
+
+// TestDrainingSentinelOnlyMatchesWrapped pins why the sentinelerr
+// analyzer bans identity comparison: ErrDraining never reaches a caller
+// bare. decodeError wraps it with the server's message
+// (fmt.Errorf("%w: %s", ErrDraining, ...)), so `err == ErrDraining`
+// misses every real drain, while errors.Is matches all of them.
+func TestDrainingSentinelOnlyMatchesWrapped(t *testing.T) {
+	var calls atomic.Int64
+	hs := scriptedServer(t, &calls, http.StatusServiceUnavailable)
+	o := fastOptions()
+	o.MaxAttempts = 1
+	c := client.NewWithOptions(hs.URL, o)
+	err := c.Healthz(context.Background())
+	if err == nil {
+		t.Fatal("healthz against a draining server: want an error")
+	}
+	if !errors.Is(err, client.ErrDraining) {
+		t.Fatalf("errors.Is(err, ErrDraining) = false for %v; the sentinel must survive wrapping", err)
+	}
+	//hdclint:ignore sentinelerr this identity comparison is the subject under test: it must NOT match the wrapped sentinel
+	if err == client.ErrDraining {
+		t.Fatalf("err == ErrDraining matched; decodeError stopped wrapping the sentinel and the test premise is gone")
+	}
+}

@@ -1,6 +1,7 @@
 package timeseries
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -333,7 +334,7 @@ func TestEuclideanDistShiftedMatchesRotate(t *testing.T) {
 			}
 		}
 	}
-	if _, err := EuclideanDistShifted(randSeries(rng, 4), randSeries(rng, 5), 1); err != ErrLengthMismatch {
+	if _, err := EuclideanDistShifted(randSeries(rng, 4), randSeries(rng, 5), 1); !errors.Is(err, ErrLengthMismatch) {
 		t.Fatalf("length mismatch: %v", err)
 	}
 	if d, err := EuclideanDistShifted(nil, nil, 3); err != nil || d != 0 {
