@@ -129,6 +129,18 @@ func (s *System) PoolStats() (stats pipeline.Stats, started bool) {
 // counters (frames recognised, ingest sheds) from it.
 func (s *System) Owner() *pipeline.Owner { return s.owner.Load() }
 
+// Pool resolves and returns the system's worker pool, starting a private
+// system's pool on first use exactly like NewStream. Graph builders
+// (internal/graph) attach their own per-node owners to it, so graph stages
+// and the system's classic streams share workers and show up side by side
+// in PoolStats.Owners.
+func (s *System) Pool() (*pipeline.Pipeline, error) {
+	if _, err := s.ensurePipeline(); err != nil {
+		return nil, err
+	}
+	return s.pipe.Load(), nil
+}
+
 // Tracer returns the worker pool's per-frame flight recorder, or nil if no
 // streaming call has started the pool yet. On a shared pool the tracer is
 // fleet-wide — frames carry their owner's label — which is exactly what

@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hdc/internal/body"
+	"hdc/internal/flight"
+	"hdc/internal/geom"
+	"hdc/internal/graph"
+	"hdc/internal/graph/nodes"
+	"hdc/internal/imu"
+	"hdc/internal/ledring"
+	"hdc/internal/pipeline"
+	"hdc/internal/raster"
+	"hdc/internal/recognizer"
+	"hdc/internal/scene"
+	"hdc/internal/telemetry"
+)
+
+// e25Scale trims the workload under `go test` to keep tier-1 in budget.
+func e25Scale(full, trimmed int) int {
+	if testing.Testing() {
+		return trimmed
+	}
+	return full
+}
+
+// e25SinkDelay is the slow-consumer stall in the shed-policy scenario.
+func e25SinkDelay() time.Duration {
+	if testing.Testing() {
+		return 200 * time.Microsecond
+	}
+	return time.Millisecond
+}
+
+// E25Graph measures the dataflow graph runtime (internal/graph): (1) the
+// recognition graph against the legacy stream path it replaces — same pool,
+// same frames, results pinned bit-identical, throughput within noise; (2)
+// four heterogeneous workloads (sign recognition, LED-ring decode, IMU
+// motion windows, flight-pattern classification) running concurrently as
+// graphs on ONE shared worker pool with per-node owner attribution; (3) the
+// three edge shed policies against a deliberately slow sink — what each
+// does to delivery when a consumer cannot keep up.
+func E25Graph() (string, error) {
+	rec, err := recognizer.New(recognizer.Config{})
+	if err != nil {
+		return "", err
+	}
+	rend := scene.NewRenderer(scene.Config{})
+	if err := rec.BuildReferences(rend, scene.ReferenceView()); err != nil {
+		return "", err
+	}
+
+	p, err := pipeline.New(rec, pipeline.Config{Workers: runtime.NumCPU(), QueueDepth: 16, StreamWindow: 8})
+	if err != nil {
+		return "", err
+	}
+	defer p.Close()
+	// Graphs attach to the pool as reference-counted owners, and the pool
+	// drains when the last owner detaches — hold one attachment for the
+	// experiment's lifetime so sequential build/close cycles share the pool.
+	hold, err := p.Attach("e25")
+	if err != nil {
+		return "", err
+	}
+	defer hold.Close()
+	ctx := context.Background()
+
+	var sb strings.Builder
+	sb.WriteString("Paper baseline: one drone, one frame, one thread (§IV). This\n")
+	sb.WriteString("extension restructures every workload as a declarative node graph on\n")
+	sb.WriteString("the shared worker pool: bounded zero-copy edges of pooled buffers,\n")
+	sb.WriteString("pluggable shed policies, per-node pool attribution, served over the\n")
+	sb.WriteString("/v1/graph endpoints.\n\n")
+
+	// -- Scenario 1: graph vs legacy stream on the recognition workload. ----
+	signs := []body.Sign{body.SignNo, body.SignYes, body.SignAttention}
+	nFrames := e25Scale(240, 48)
+	frames := make([]*raster.Gray, nFrames)
+	for i := range frames {
+		f, err := rend.Render(signs[i%len(signs)], scene.ReferenceView(), body.Options{}, nil)
+		if err != nil {
+			return "", err
+		}
+		frames[i] = f
+	}
+
+	legacy := make([]pipeline.StreamResult, nFrames)
+	st, err := p.NewStream()
+	if err != nil {
+		return "", err
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for r := range st.Results() {
+			legacy[r.Seq] = r
+		}
+	}()
+	startLegacy := time.Now()
+	for _, f := range frames {
+		if err := st.Submit(f); err != nil {
+			return "", err
+		}
+	}
+	st.Close()
+	<-drained
+	legacyElapsed := time.Since(startLegacy)
+
+	g, err := graph.Build(nodes.RecognizeSpec(rec), p, graph.Config{})
+	if err != nil {
+		return "", err
+	}
+	in := make([]graph.Input, nFrames)
+	for i, f := range frames {
+		in[i] = graph.Input{Frame: f}
+	}
+	startGraph := time.Now()
+	out, err := g.Process(ctx, in)
+	graphElapsed := time.Since(startGraph)
+	if err != nil {
+		return "", err
+	}
+	g.Close()
+
+	identical := 0
+	for i := range out {
+		lr, gr := legacy[i].Res, out[i].Value.(recognizer.Result)
+		if lr.Label == gr.Label && math.Float64bits(lr.Match.Dist) == math.Float64bits(gr.Match.Dist) {
+			identical++
+		}
+	}
+	tab := telemetry.NewTable("path", "frames", "elapsed", "frames/sec", "bit-identical")
+	tab.AddRow("legacy stream", fmt.Sprintf("%d", nFrames), legacyElapsed.Round(time.Millisecond).String(),
+		fmt.Sprintf("%.1f", float64(nFrames)/legacyElapsed.Seconds()), "—")
+	tab.AddRow("graph", fmt.Sprintf("%d", nFrames), graphElapsed.Round(time.Millisecond).String(),
+		fmt.Sprintf("%.1f", float64(nFrames)/graphElapsed.Seconds()),
+		fmt.Sprintf("%d/%d", identical, nFrames))
+	sb.WriteString("**Graph vs legacy stream** (same pool, same frames; label and raw\n")
+	sb.WriteString("Float64 distance bits compared per frame):\n\n")
+	sb.WriteString(tab.Markdown())
+	if identical != nFrames {
+		sb.WriteString(fmt.Sprintf("\n**PARITY FAILURE**: only %d/%d frames identical.\n", identical, nFrames))
+	}
+
+	// -- Scenario 2: four workloads concurrently on one pool. ---------------
+	ringFrame := func(n, boundary int) []ledring.Color {
+		leds := make([]ledring.Color, n)
+		leds[(boundary+n-1)%n] = ledring.Red
+		leds[boundary%n] = ledring.Green
+		return leds
+	}
+	hover := make(nodes.IMUWindow, 64)
+	for i := range hover {
+		hover[i] = imu.Sample{
+			T:     time.Duration(i) * 20 * time.Millisecond,
+			Accel: geom.V3(0, 0, imu.Gravity), BaroAltM: 5,
+		}
+	}
+	cruise := make(flight.Trajectory, 32)
+	for i := range cruise {
+		cruise[i] = flight.Sample{T: float64(i) * 0.5, Pos: geom.V3(float64(i)*0.8, 0, 5)}
+	}
+
+	batches := e25Scale(24, 4)
+	const perBatch = 8
+	mixed := []struct {
+		name  string
+		build func() (*graph.Graph, error)
+		batch func(i int) []graph.Input
+	}{
+		{"recognize", func() (*graph.Graph, error) { return graph.Build(nodes.RecognizeSpec(rec), p, graph.Config{}) },
+			func(i int) []graph.Input {
+				in := make([]graph.Input, perBatch)
+				for j := range in {
+					in[j] = graph.Input{Frame: frames[(i*perBatch+j)%len(frames)]}
+				}
+				return in
+			}},
+		{"ledring", func() (*graph.Graph, error) { return graph.Build(nodes.LedringSpec(), p, graph.Config{}) },
+			func(i int) []graph.Input {
+				in := make([]graph.Input, perBatch)
+				for j := range in {
+					in[j] = graph.Input{Value: nodes.LedringInput{Frames: [][]ledring.Color{ringFrame(12, i+j)}}}
+				}
+				return in
+			}},
+		{"imu", func() (*graph.Graph, error) { return graph.Build(nodes.IMUSpec(), p, graph.Config{}) },
+			func(int) []graph.Input {
+				in := make([]graph.Input, perBatch)
+				for j := range in {
+					in[j] = graph.Input{Value: hover}
+				}
+				return in
+			}},
+		{"flight", func() (*graph.Graph, error) { return graph.Build(nodes.FlightSpec(), p, graph.Config{}) },
+			func(int) []graph.Input {
+				in := make([]graph.Input, perBatch)
+				for j := range in {
+					in[j] = graph.Input{Value: cruise}
+				}
+				return in
+			}},
+	}
+
+	graphs := make([]*graph.Graph, len(mixed))
+	for i, w := range mixed {
+		if graphs[i], err = w.build(); err != nil {
+			return "", err
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(mixed))
+	elapsed := make([]time.Duration, len(mixed))
+	startMixed := time.Now()
+	for i, w := range mixed {
+		wg.Add(1)
+		go func(i int, batch func(int) []graph.Input) {
+			defer wg.Done()
+			start := time.Now()
+			for b := 0; b < batches; b++ {
+				if _, err := graphs[i].Process(ctx, batch(b)); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			elapsed[i] = time.Since(start)
+		}(i, w.batch)
+	}
+	wg.Wait()
+	wall := time.Since(startMixed)
+	for i, err := range errs {
+		if err != nil {
+			return "", fmt.Errorf("%s workload: %w", mixed[i].name, err)
+		}
+	}
+	mixTab := telemetry.NewTable("workload", "items", "items/sec", "delivered", "owners")
+	for i, w := range mixed {
+		gst := graphs[i].Stats()
+		var owners []string
+		for _, n := range gst.Nodes {
+			owners = append(owners, n.Owner)
+		}
+		items := batches * perBatch
+		mixTab.AddRow(w.name, fmt.Sprintf("%d", items),
+			fmt.Sprintf("%.0f", float64(items)/elapsed[i].Seconds()),
+			fmt.Sprintf("%d", gst.Delivered), strings.Join(owners, " "))
+		graphs[i].Close()
+	}
+	sb.WriteString("\n**Four workloads concurrently on one shared pool** (wall ")
+	sb.WriteString(wall.Round(time.Millisecond).String())
+	sb.WriteString("; the owner\nlabels are what /statsz pool attribution reports per node):\n\n")
+	sb.WriteString(mixTab.Markdown())
+
+	// -- Scenario 3: shed policies against a slow sink. ---------------------
+	sinkDelay := e25SinkDelay()
+	shedN := e25Scale(60, 24)
+	slowSink := func(_ *recognizer.Scratch, _ *graph.Msg) error {
+		time.Sleep(sinkDelay)
+		return nil
+	}
+	pass := func(_ *recognizer.Scratch, _ *graph.Msg) error { return nil }
+	policies := []struct {
+		name string
+		spec graph.EdgeSpec
+	}{
+		{"block", graph.EdgeSpec{Cap: 2, Policy: graph.Block}},
+		{"drop-oldest", graph.EdgeSpec{Cap: 2, Policy: graph.DropOldest}},
+		{"stride k=3", graph.EdgeSpec{Cap: 2, Policy: graph.Stride, K: 3}},
+	}
+	shedTab := telemetry.NewTable("policy", "submitted", "delivered", "shed", "elapsed")
+	for _, pol := range policies {
+		spec := graph.Spec{
+			Name: "shed-" + pol.name,
+			Nodes: []graph.NodeSpec{
+				{Name: "fast", Proc: pass},
+				{Name: "slow", Proc: slowSink},
+			},
+			Edges:  []graph.EdgeSpec{{From: "fast", To: "slow", Cap: pol.spec.Cap, Policy: pol.spec.Policy, K: pol.spec.K}},
+			Ingest: graph.EdgeSpec{Cap: 4},
+		}
+		sg, err := graph.Build(spec, p, graph.Config{})
+		if err != nil {
+			return "", err
+		}
+		in := make([]graph.Input, shedN)
+		for i := range in {
+			in[i] = graph.Input{Value: i}
+		}
+		start := time.Now()
+		if _, err := sg.Process(ctx, in); err != nil {
+			sg.Close()
+			return "", err
+		}
+		took := time.Since(start)
+		sg.Close()
+		gst := sg.Stats()
+		shedTab.AddRow(pol.name, fmt.Sprintf("%d", gst.Submitted),
+			fmt.Sprintf("%d", gst.Delivered), fmt.Sprintf("%d", gst.Shed),
+			took.Round(time.Millisecond).String())
+	}
+	sb.WriteString("\n**Shed policies against a slow sink** (")
+	sb.WriteString(fmt.Sprintf("%v stall per message, edge cap 2):\n\n", sinkDelay))
+	sb.WriteString(shedTab.Markdown())
+	sb.WriteString("\nBlock holds every message at the cost of end-to-end latency —\n")
+	sb.WriteString("back-pressure reaches the submitter. Drop-oldest keeps the freshest\n")
+	sb.WriteString("frames moving (the live-camera policy: a newer frame is always worth\n")
+	sb.WriteString("more than a stale one). Stride keeps every k-th message — the\n")
+	sb.WriteString("decimation policy for telemetry that tolerates subsampling. All three\n")
+	sb.WriteString("recycle shed buffers through the same pooled-frame hook, pinned by\n")
+	sb.WriteString("the graphtest conformance kit's gets==puts balance checks.\n")
+	return sb.String(), nil
+}

@@ -62,6 +62,14 @@ const (
 	ServerDecode = "server/decode"
 	// ServerSession fails stream/gesture session creation (503 to the client).
 	ServerSession = "server/session"
+	// GraphDispatch injects into a graph node's forwarder, between its input
+	// edge and the node's pool stream: an error rides the message to the sink
+	// as its verdict (the node stage is skipped, ownership is unchanged).
+	GraphDispatch = "graph/dispatch"
+	// GraphEdgeForward injects into every graph edge's push, before the
+	// policy runs: an error sheds the message at that edge (released and
+	// counted exactly like a policy shed).
+	GraphEdgeForward = "graph/edge-forward"
 )
 
 // ErrInjected is the sentinel all injected errors wrap; callers and tests

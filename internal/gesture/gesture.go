@@ -147,6 +147,15 @@ func FeaturesFromComponent(comp vision.Component) (Features, error) {
 // front half.
 const morphRadius = 1
 
+// ExtractFrame is the pooled-scratch per-frame feature stage as a public
+// entry point: graph nodes (internal/graph/nodes) run exactly this from a
+// worker's vision scratch, so the graph-served gesture path reuses the same
+// code — and produces bit-identical Features — as ClassifyFrames and the
+// Live session.
+func ExtractFrame(vs *vision.Scratch, frame *raster.Gray) (Features, error) {
+	return extractFrame(vs, frame)
+}
+
 // extractFrame is the pooled-buffer feature path: binarise and open with the
 // scratch's planes, take the largest component, reduce it to Features.
 func extractFrame(vs *vision.Scratch, frame *raster.Gray) (Features, error) {

@@ -1,0 +1,201 @@
+package graph_test
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hdc/internal/failpoint"
+	"hdc/internal/graph"
+	"hdc/internal/pipeline"
+	"hdc/internal/raster"
+	"hdc/internal/recognizer"
+)
+
+// chaos_test.go extends the repo's randomized fault-injection suite to the
+// graph runtime: a controller flips schedules on the graph failpoints (node
+// dispatch, edge forward) and the pipeline worker while submitters drive
+// pooled frames through three topology shapes — a chain, a fan-out, a
+// strided edge — on one shared worker pool. The invariants, as in the
+// server suite, are what must hold through arbitrary interleavings:
+//
+//  1. frame-pool balance: gets == puts once every graph is torn down, on
+//     deliver, shed and abandon paths alike;
+//  2. terminal accounting: delivered + shed + abandoned messages sum to
+//     submissions × branches for every topology;
+//  3. delivered verdicts are well-formed: nil or an explicitly injected
+//     fault — never a corrupted error from a half-taken path.
+//
+// Seeds are logged for one-line replay. Failpoints are process-global, so
+// nothing here runs in parallel and everything disarms on exit.
+
+// graphChaosPoints are the schedules the controller draws from; error
+// probabilities stay below 1 so traffic always progresses.
+var graphChaosPoints = []struct {
+	name  string
+	specs []string
+}{
+	{failpoint.GraphDispatch, []string{"delay(1ms)", "25%error(injected dispatch fault)"}},
+	{failpoint.GraphEdgeForward, []string{"30%error(injected forward fault)"}},
+	{failpoint.PipelineWorker, []string{"delay(1ms)", "25%error(injected worker fault)"}},
+}
+
+// TestChaosGraphTopologies drives all three topology shapes concurrently
+// under flipping graph/pipeline fault schedules, closes two gracefully and
+// abandons the third mid-traffic, then asserts the balance invariants.
+func TestChaosGraphTopologies(t *testing.T) {
+	defer failpoint.DisableAll()
+	seed := time.Now().UnixNano()
+	t.Logf("chaos seed: %d", seed)
+
+	rec, err := recognizer.New(recognizer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pipeline.New(rec, pipeline.Config{Workers: 6, QueueDepth: 4, StreamWindow: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Shared counted frame pool: balance is checked once, after every
+	// topology has drained.
+	var frames raster.Pool
+	var delivered, malformed atomic.Int64
+	deliver := func(_ string, m graph.Msg) {
+		delivered.Add(1)
+		if m.Err != nil && !errors.Is(m.Err, failpoint.ErrInjected) {
+			malformed.Add(1)
+		}
+	}
+	cfg := graph.Config{Recycle: frames.Put, Deliver: deliver}
+
+	type topology struct {
+		spec     graph.Spec
+		branches uint64
+		abandon  bool
+	}
+	topologies := []topology{
+		{spec: graph.Spec{
+			Name: "chain",
+			Nodes: []graph.NodeSpec{
+				{Name: "a", Proc: passProc}, {Name: "b", Proc: passProc}, {Name: "c", Proc: passProc},
+			},
+			Edges: []graph.EdgeSpec{
+				{From: "a", To: "b", Cap: 2}, {From: "b", To: "c", Cap: 2},
+			},
+			Ingest: graph.EdgeSpec{Cap: 4},
+		}, branches: 1},
+		{spec: graph.Spec{
+			Name: "fanout",
+			Nodes: []graph.NodeSpec{
+				{Name: "root", Proc: passProc}, {Name: "left", Proc: passProc}, {Name: "right", Proc: passProc},
+			},
+			Edges: []graph.EdgeSpec{
+				{From: "root", To: "left", Cap: 1, Policy: graph.DropOldest},
+				{From: "root", To: "right", Cap: 1, Policy: graph.DropOldest},
+			},
+			Ingest: graph.EdgeSpec{Cap: 2, Policy: graph.DropOldest},
+		}, branches: 2},
+		{spec: graph.Spec{
+			Name: "stride",
+			Nodes: []graph.NodeSpec{
+				{Name: "a", Proc: passProc}, {Name: "b", Proc: passProc},
+			},
+			Edges:  []graph.EdgeSpec{{From: "a", To: "b", Cap: 2, Policy: graph.Stride, K: 3}},
+			Ingest: graph.EdgeSpec{Cap: 4},
+		}, branches: 1, abandon: true},
+	}
+
+	graphs := make([]*graph.Graph, len(topologies))
+	for i, tp := range topologies {
+		g, err := graph.Build(tp.spec, p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs[i] = g
+	}
+
+	// Controller: arm/disarm random schedules until traffic stops.
+	stop := make(chan struct{})
+	var chaosWG sync.WaitGroup
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		defer failpoint.DisableAll()
+		rng := rand.New(rand.NewSource(seed))
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Duration(2+rng.Intn(10)) * time.Millisecond):
+			}
+			fp := graphChaosPoints[rng.Intn(len(graphChaosPoints))]
+			if rng.Intn(3) == 0 {
+				failpoint.Disable(fp.name)
+				continue
+			}
+			_ = failpoint.Enable(fp.name, fp.specs[rng.Intn(len(fp.specs))])
+		}
+	}()
+
+	// One submitter per topology; the abandoned topology's graph is torn
+	// down from under its submitter mid-traffic.
+	runFor := 1500 * time.Millisecond
+	var trafficWG sync.WaitGroup
+	for i, g := range graphs {
+		trafficWG.Add(1)
+		go func(i int, g *graph.Graph) {
+			defer trafficWG.Done()
+			until := time.Now().Add(runFor)
+			for n := 0; time.Now().Before(until); n++ {
+				f := frames.Get(32, 32)
+				if err := g.Submit(f, n, nil); err != nil {
+					// Refused submissions leave the frame with the caller.
+					frames.Put(f)
+					if !errors.Is(err, graph.ErrClosed) {
+						t.Errorf("topology %d submit: %v", i, err)
+					}
+					return
+				}
+			}
+		}(i, g)
+	}
+	if g := graphs[2]; true {
+		time.Sleep(runFor / 2)
+		g.Abandon()
+	}
+	trafficWG.Wait()
+	close(stop)
+	chaosWG.Wait()
+	failpoint.DisableAll()
+
+	for i, g := range graphs {
+		if !topologies[i].abandon {
+			g.Close()
+		}
+		// Each message terminates once per branch it reached: exactly
+		// `branches` terminals after the fan-out point, one if it shed
+		// before reaching it — so the sum is bounded by the two, and exact
+		// on single-branch topologies.
+		st := g.Stats()
+		got := st.Delivered + st.Shed + st.Abandoned
+		if lo, hi := st.Submitted, st.Submitted*topologies[i].branches; got < lo || got > hi {
+			t.Errorf("%s: terminals %d outside [%d, %d] (submitted %d, %d branches)",
+				st.Name, got, lo, hi, st.Submitted, topologies[i].branches)
+		}
+	}
+	if gets, puts := frames.Stats(); gets != puts {
+		t.Errorf("frame pool: %d gets vs %d puts across graph topologies", gets, puts)
+	}
+	if malformed.Load() != 0 {
+		t.Errorf("%d of %d delivered verdicts malformed", malformed.Load(), delivered.Load())
+	}
+	if delivered.Load() == 0 {
+		t.Error("no deliveries through the chaos window")
+	}
+	t.Logf("chaos graph: delivered=%d", delivered.Load())
+}

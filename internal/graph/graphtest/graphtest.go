@@ -1,0 +1,392 @@
+// Package graphtest is the node conformance kit for the graph runtime: a
+// reusable harness any node implementation runs (the same way analyzer
+// fixtures run through linttest) to prove it honours the graph's contracts
+// before it is wired into a served topology. For a node described by a
+// Node value, Run proves:
+//
+//   - buffer-ownership balance: every pooled frame the harness submits is
+//     recycled exactly once, whether its message delivers at the sink, is
+//     shed by an edge policy, or is abandoned by teardown;
+//   - context-cancellation behaviour: a SubmitContext parked on a full
+//     ingest edge returns the context's error and leaves frame ownership
+//     with the caller;
+//   - shed-accounting monotonicity: per-edge Arrived/Shed counters and the
+//     graph's terminal counters only grow, Shed never exceeds Arrived, and
+//     the terminals sum to the submissions once the graph drains;
+//   - race-cleanliness: every scenario runs the node concurrently with
+//     submitters, a stats sampler and teardown, so `go test -race` over a
+//     conformance test is itself the data-race gate.
+//
+// A node library adds one test per node:
+//
+//	func TestNodeConformance(t *testing.T) {
+//	    graphtest.Run(t, graphtest.Node{
+//	        Name:  "binarize",
+//	        Proc:  BinarizeProc,
+//	        Frames: true,
+//	    })
+//	}
+package graphtest
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"hdc/internal/graph"
+	"hdc/internal/pipeline"
+	"hdc/internal/raster"
+	"hdc/internal/recognizer"
+)
+
+// Node describes one node implementation under conformance test.
+type Node struct {
+	// Name labels the node in graph specs and failures.
+	Name string
+	// Proc is the implementation under test.
+	Proc graph.Proc
+	// Value produces the ingest payload for message i — whatever the node
+	// expects in Msg.Value. Nil submits nil payloads.
+	Value func(i int) any
+	// Frames attaches a pooled frame to every message when true. Vision
+	// nodes set it; out-of-band workloads (LED rings, IMU windows,
+	// trajectories) leave it false and ride on Value alone.
+	Frames bool
+}
+
+// frameW is the pooled frame geometry the harness submits (Frames nodes
+// must accept any frame size; 32×32 keeps the scenarios cheap).
+const frameW, frameH = 32, 32
+
+// Run executes the full conformance suite against n as subtests of t.
+// It fails the test if any contract is violated; run it under -race.
+func Run(t *testing.T, n Node) {
+	t.Helper()
+	if n.Name == "" || n.Proc == nil {
+		t.Fatal("graphtest: Node needs Name and Proc")
+	}
+	t.Run("Delivery", func(t *testing.T) { runDelivery(t, n) })
+	t.Run("ShedBalance", func(t *testing.T) { runShedBalance(t, n) })
+	t.Run("AbandonBalance", func(t *testing.T) { runAbandonBalance(t, n) })
+	t.Run("ContextCancellation", func(t *testing.T) { runContextCancellation(t, n) })
+}
+
+// harness is one scenario's assembled fixture: a pool, a frame pool with
+// counted gets/puts, and helpers to submit conformant messages.
+type harness struct {
+	t      *testing.T
+	n      Node
+	p      *pipeline.Pipeline
+	frames raster.Pool
+}
+
+func newHarness(t *testing.T, n Node) *harness {
+	t.Helper()
+	// More workers than one stream's window: the harness's gate node parks
+	// every worker that picks up one of its messages, and its stream window
+	// bounds those at StreamWindow — the surplus workers keep the node under
+	// test making progress against the congestion instead of deadlocking
+	// the whole pool.
+	cfg := pipeline.Config{Workers: 6, QueueDepth: 4, StreamWindow: 4}
+	rec, err := recognizer.New(recognizer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pipeline.New(rec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return &harness{t: t, n: n, p: p}
+}
+
+// frame checks a pooled frame out for one message, or nil for out-of-band
+// nodes.
+func (h *harness) frame() *raster.Gray {
+	if !h.n.Frames {
+		return nil
+	}
+	return h.frames.Get(frameW, frameH)
+}
+
+// value produces message i's payload.
+func (h *harness) value(i int) any {
+	if h.n.Value == nil {
+		return nil
+	}
+	return h.n.Value(i)
+}
+
+// checkBalance asserts the two quiescent-state invariants: frame-pool
+// gets==puts (ownership balance) and terminal counters summing to the
+// submissions (no message lost or double-counted). Call only after
+// Close/Abandon returns.
+func (h *harness) checkBalance(g *graph.Graph, branches uint64) {
+	h.t.Helper()
+	gets, puts := h.frames.Stats()
+	if gets != puts {
+		h.t.Errorf("frame pool: %d gets vs %d puts — node leaked or double-recycled frames", gets, puts)
+	}
+	st := g.Stats()
+	if got, want := st.Delivered+st.Shed+st.Abandoned, st.Submitted*branches; got != want {
+		h.t.Errorf("terminals: delivered %d + shed %d + abandoned %d = %d, want %d (submitted %d × %d branches)",
+			st.Delivered, st.Shed, st.Abandoned, got, want, st.Submitted, branches)
+	}
+}
+
+// passProc is the harness's no-op sink stage.
+func passProc(_ *recognizer.Scratch, _ *graph.Msg) error { return nil }
+
+// gate returns a pass-through proc that parks every message until release
+// is called (idempotent). It is the harness's downstream congestion — but
+// note an errored message passes a gate proc untouched (the runtime
+// short-circuits procs on Msg.Err), so scenarios that must congest no
+// matter the node's verdict gate at delivery with deliverGate instead.
+func gate() (graph.Proc, func()) {
+	ch := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(ch) }) }
+	proc := func(_ *recognizer.Scratch, _ *graph.Msg) error {
+		<-ch
+		return nil
+	}
+	return proc, release
+}
+
+// deliverGate returns a Deliver hook that parks every delivery until
+// release is called (idempotent). Unlike a gate proc, it holds for errored
+// messages too: every delivered message goes through the hook.
+func deliverGate() (func(string, graph.Msg), func()) {
+	ch := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(ch) }) }
+	deliver := func(_ string, _ graph.Msg) { <-ch }
+	return deliver, release
+}
+
+// runDelivery: the node alone, Block ingest — every submission delivers, in
+// submission order, and every frame recycles exactly once.
+func runDelivery(t *testing.T, n Node) {
+	h := newHarness(t, n)
+	var (
+		mu   sync.Mutex
+		seqs []uint64
+	)
+	g, err := graph.Build(graph.Spec{
+		Name:   "conformance",
+		Nodes:  []graph.NodeSpec{{Name: n.Name, Proc: n.Proc}},
+		Ingest: graph.EdgeSpec{Cap: 4},
+	}, h.p, graph.Config{
+		Recycle: h.frames.Put,
+		// A message may deliver with m.Err set (the harness's synthetic
+		// payloads need not satisfy the node semantically); conformance is
+		// about the delivery itself, not the verdict.
+		Deliver: func(_ string, m graph.Msg) {
+			mu.Lock()
+			seqs = append(seqs, m.Seq)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const N = 32
+	for i := 0; i < N; i++ {
+		if err := g.Submit(h.frame(), h.value(i), nil); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	g.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seqs) != N {
+		t.Fatalf("delivered %d of %d messages", len(seqs), N)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("delivery order broken: seq %d after %d", seqs[i], seqs[i-1])
+		}
+	}
+	h.checkBalance(g, 1)
+}
+
+// runShedBalance: node → sink over a DropOldest edge, deliveries gated
+// shut. The node runs ahead of the congested sink, so the edge must shed —
+// and every shed frame must still recycle exactly once. A concurrent
+// sampler asserts monotone shed accounting the whole time.
+func runShedBalance(t *testing.T, n Node) {
+	h := newHarness(t, n)
+	deliver, release := deliverGate()
+	defer release()
+	g, err := graph.Build(graph.Spec{
+		Name: "conformance",
+		Nodes: []graph.NodeSpec{
+			{Name: n.Name, Proc: n.Proc},
+			{Name: "sink", Proc: passProc},
+		},
+		Edges:  []graph.EdgeSpec{{From: n.Name, To: "sink", Cap: 1, Policy: graph.DropOldest}},
+		Ingest: graph.EdgeSpec{Cap: 2},
+	}, h.p, graph.Config{Recycle: h.frames.Put, Deliver: deliver})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stopSampler := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		var prev graph.Stats
+		for {
+			st := g.Stats()
+			checkMonotone(t, prev, st)
+			prev = st
+			select {
+			case <-stopSampler:
+				return
+			default:
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+
+	const N = 48
+	for i := 0; i < N; i++ {
+		if err := g.Submit(h.frame(), h.value(i), nil); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	release()
+	g.Close()
+	close(stopSampler)
+	<-samplerDone
+
+	st := g.Stats()
+	if st.Shed == 0 {
+		t.Error("no sheds from a congested DropOldest edge")
+	}
+	h.checkBalance(g, 1)
+}
+
+// checkMonotone asserts that no counter in cur regressed from prev and that
+// each edge's Shed never exceeds its Arrived.
+func checkMonotone(t *testing.T, prev, cur graph.Stats) {
+	t.Helper()
+	if cur.Submitted < prev.Submitted || cur.Delivered < prev.Delivered ||
+		cur.Shed < prev.Shed || cur.Abandoned < prev.Abandoned {
+		t.Errorf("graph counters regressed: %+v then %+v", prev, cur)
+	}
+	for i, e := range cur.Edges {
+		if e.Shed > e.Arrived {
+			t.Errorf("edge %s→%s shed %d of %d arrived", e.From, e.To, e.Shed, e.Arrived)
+		}
+		if i < len(prev.Edges) {
+			p := prev.Edges[i]
+			if e.Arrived < p.Arrived || e.Shed < p.Shed {
+				t.Errorf("edge %s→%s counters regressed: %+v then %+v", e.From, e.To, p, e)
+			}
+		}
+	}
+}
+
+// runAbandonBalance: load the graph against a blocked gate, then Abandon
+// while messages sit on every edge and worker. Whatever mix of delivered,
+// shed and abandoned results, ownership must balance.
+func runAbandonBalance(t *testing.T, n Node) {
+	h := newHarness(t, n)
+	gateProc, release := gate()
+	defer release()
+	g, err := graph.Build(graph.Spec{
+		Name: "conformance",
+		Nodes: []graph.NodeSpec{
+			{Name: n.Name, Proc: n.Proc},
+			{Name: "gate", Proc: gateProc},
+		},
+		Edges:  []graph.EdgeSpec{{From: n.Name, To: "gate", Cap: 2, Policy: graph.Block}},
+		Ingest: graph.EdgeSpec{Cap: 2, Policy: graph.DropOldest},
+	}, h.p, graph.Config{Recycle: h.frames.Put})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const N = 40
+	for i := 0; i < N; i++ {
+		if err := g.Submit(h.frame(), h.value(i), nil); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	// Release the gate shortly after teardown starts: messages already on
+	// gate workers finish their stage mid-abandon, exercising the
+	// discarded-delivery path alongside the edge-drain path.
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		release()
+	}()
+	g.Abandon()
+	if st := g.Stats(); st.Abandoned+st.Shed == 0 {
+		t.Error("abandon of a loaded graph discarded nothing")
+	}
+	h.checkBalance(g, 1)
+}
+
+// runContextCancellation: with deliveries gated shut and every queue full,
+// a SubmitContext must give up when its context expires and leave the frame
+// with the caller; a pre-cancelled context must refuse immediately.
+func runContextCancellation(t *testing.T, n Node) {
+	h := newHarness(t, n)
+	deliver, release := deliverGate()
+	defer release()
+	g, err := graph.Build(graph.Spec{
+		Name:   "conformance",
+		Nodes:  []graph.NodeSpec{{Name: n.Name, Proc: n.Proc}},
+		Ingest: graph.EdgeSpec{Cap: 1, Policy: graph.Block},
+	}, h.p, graph.Config{Recycle: h.frames.Put, Deliver: deliver})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the graph: delivery slot + stream window + out buffer + ingest
+	// cap is finite, so some submission beyond that must park. Use a
+	// generous deadline for the fillers; the first one to time out proves
+	// the cancellation path.
+	deadline := time.Now().Add(10 * time.Second)
+	timedOut := false
+	for i := 0; i < 64 && !timedOut; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		f := h.frame()
+		err := g.SubmitContext(ctx, f, h.value(i), nil)
+		cancel()
+		switch {
+		case err == nil:
+		case errors.Is(err, context.DeadlineExceeded):
+			// Refused: the caller keeps the frame and recycles it itself.
+			if f != nil {
+				h.frames.Put(f)
+			}
+			timedOut = true
+		default:
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("graph never filled")
+		}
+	}
+	if !timedOut {
+		t.Fatal("64 submissions into a gated graph and none timed out")
+	}
+
+	// A context cancelled before the call refuses without touching the edge.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	f := h.frame()
+	if err := g.SubmitContext(cancelled, f, h.value(0), nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled submit: %v, want context.Canceled", err)
+	}
+	if f != nil {
+		h.frames.Put(f)
+	}
+
+	release()
+	g.Close()
+	h.checkBalance(g, 1)
+}

@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"sync/atomic"
+
+	"hdc/internal/raster"
+)
+
+// msg.go defines the unit that travels along graph edges: a Msg is a value
+// struct (copied freely between goroutines) wrapping an optional pooled
+// frame, a node-transformed payload, and the shared release cell that makes
+// the frame's recycle exactly-once no matter how many branches of a fan-out
+// the message takes.
+
+// Msg is one message flowing through a graph. Nodes receive it by pointer
+// and transform Value in place; the runtime owns every other field.
+type Msg struct {
+	// Seq is the graph-assigned submission number, monotone per graph.
+	// Deliveries at a sink arrive in strictly increasing Seq order (a
+	// subsequence of the submitted Seqs — shed messages leave holes).
+	Seq uint64
+	// Frame is the message's pooled frame, nil for non-vision workloads.
+	// It is recycled by the runtime exactly once when the message leaves
+	// the graph on every path; in a fan-out topology sibling branches may
+	// read it concurrently, so node procs must treat it as read-only.
+	Frame *raster.Gray
+	// Value is the payload a node transforms: the ingest value on entry,
+	// each node's output downstream of it.
+	Value any
+	// Err is the message's failure verdict. A message with Err set skips
+	// every remaining node stage and is delivered as an error result, the
+	// same contract as an error StreamResult on a pipeline stream.
+	Err error
+	// Tag is opaque submitter context, carried untouched to delivery.
+	Tag any
+
+	cell *cell
+}
+
+// cell is the shared release state of one message across fan-out branches:
+// refs counts the live copies (one per branch not yet delivered or shed),
+// and the frame recycles exactly once, when the count reaches zero.
+type cell struct {
+	refs  atomic.Int32
+	frame *raster.Gray
+}
+
+// release drops one branch's reference; the last release recycles the frame
+// through the graph's Recycle hook.
+func (g *Graph) release(m Msg) {
+	if m.cell == nil {
+		return
+	}
+	if m.cell.refs.Add(-1) == 0 {
+		if m.cell.frame != nil && g.cfg.Recycle != nil {
+			g.cfg.Recycle(m.cell.frame)
+		}
+	}
+}
+
+// retain adds n references before a fan-out distributes copies of m.
+func (m Msg) retain(n int32) {
+	if m.cell != nil && n > 0 {
+		m.cell.refs.Add(n)
+	}
+}

@@ -1,0 +1,129 @@
+package nodes
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"hdc/internal/body"
+	"hdc/internal/graph"
+	"hdc/internal/ledring"
+	"hdc/internal/pipeline"
+	"hdc/internal/raster"
+	"hdc/internal/scene"
+)
+
+// benchFrames renders one batch of sign frames at varied azimuths, the same
+// shape BenchmarkPipelineBatch pushes through the legacy batch path.
+func benchFrames(b *testing.B, rend *scene.Renderer, n int) []*raster.Gray {
+	b.Helper()
+	signs := body.AllSigns()
+	frames := make([]*raster.Gray, n)
+	for i := range frames {
+		v := scene.ReferenceView()
+		v.AzimuthDeg = float64((i * 4) % 30)
+		f, err := rend.Render(signs[i%len(signs)], v, body.Options{}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames[i] = f
+	}
+	return frames
+}
+
+// BenchmarkGraphRecognize is the graph counterpart of the legacy batch
+// benchmark: one 16-frame batch per iteration through the recognition
+// topology. Against BenchmarkPipelineThroughput/BenchmarkServerBatch it
+// prices the graph runtime's overhead (edge hops, slab transport, delivery
+// routing) over the same recognition work — E25's first column.
+func BenchmarkGraphRecognize(b *testing.B) {
+	rec, rend := newRecognizer(b)
+	p, err := pipeline.New(rec, pipeline.Config{Workers: 4, QueueDepth: 8, StreamWindow: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	g, err := graph.Build(RecognizeSpec(rec), p, graph.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+
+	const batch = 16
+	frames := benchFrames(b, rend, batch)
+	in := make([]graph.Input, batch)
+	for i, f := range frames {
+		in[i] = graph.Input{Frame: f}
+	}
+	ctx := context.Background()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := g.Process(ctx, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != batch {
+			b.Fatalf("delivered %d of %d", len(out), batch)
+		}
+	}
+}
+
+// BenchmarkGraphMixedWorkload runs all four served topologies — sign
+// recognition, LED-ring decoding, IMU motion detection, flight-pattern
+// classification — concurrently on ONE shared worker pool, one batch each
+// per iteration: E25's consolidation column, the scenario the graph layer
+// exists for (heterogeneous workloads sharing recognition capacity instead
+// of each owning a thread pool).
+func BenchmarkGraphMixedWorkload(b *testing.B) {
+	rec, rend := newRecognizer(b)
+	p, err := pipeline.New(rec, pipeline.Config{Workers: 4, QueueDepth: 8, StreamWindow: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+
+	graphs := make([]*graph.Graph, 0, 4)
+	for _, spec := range []graph.Spec{RecognizeSpec(rec), LedringSpec(), IMUSpec(), FlightSpec()} {
+		g, err := graph.Build(spec, p, graph.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer g.Close()
+		graphs = append(graphs, g)
+	}
+
+	const batch = 8
+	frames := benchFrames(b, rend, batch)
+	batches := make([][]graph.Input, 4)
+	for i := 0; i < batch; i++ {
+		batches[0] = append(batches[0], graph.Input{Frame: frames[i]})
+		batches[1] = append(batches[1], graph.Input{Value: LedringInput{
+			Frames: [][]ledring.Color{ringFrame(12, i)},
+		}})
+		batches[2] = append(batches[2], graph.Input{Value: hoverWindow(64)})
+		batches[3] = append(batches[3], graph.Input{Value: cruiseTrajectory(32)})
+	}
+	ctx := context.Background()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make([]error, len(graphs))
+		for j, g := range graphs {
+			wg.Add(1)
+			go func(j int, g *graph.Graph) {
+				defer wg.Done()
+				_, errs[j] = g.Process(ctx, batches[j])
+			}(j, g)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

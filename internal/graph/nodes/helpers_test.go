@@ -1,0 +1,56 @@
+package nodes
+
+import (
+	"context"
+	"testing"
+
+	"hdc/internal/graph"
+	"hdc/internal/pipeline"
+	"hdc/internal/recognizer"
+)
+
+// newTestPool starts a small shared worker pool for graph tests; its default
+// recogniser carries no references because the value-only topologies never
+// run recognition on it.
+func newTestPool(t testing.TB) *pipeline.Pipeline {
+	t.Helper()
+	rec, err := recognizer.New(recognizer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pipeline.New(rec, pipeline.Config{Workers: 4, QueueDepth: 8, StreamWindow: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// buildSpec builds spec on p with no delivery hooks (tests drive the graph
+// through Process, which routes past them).
+func buildSpec(t testing.TB, spec graph.Spec, p *pipeline.Pipeline) (*graph.Graph, error) {
+	t.Helper()
+	return graph.Build(spec, p, graph.Config{})
+}
+
+// processValues pushes one value-only batch through g and returns the sink
+// Values in input order, failing the test on any call or per-slot error.
+func processValues[T any](t testing.TB, g *graph.Graph, vals []T) []any {
+	t.Helper()
+	in := make([]graph.Input, len(vals))
+	for i, v := range vals {
+		in[i] = graph.Input{Value: v}
+	}
+	out, err := g.Process(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := make([]any, len(out))
+	for i, o := range out {
+		if o.Err != nil {
+			t.Fatalf("slot %d: %v", i, o.Err)
+		}
+		res[i] = o.Value
+	}
+	return res
+}

@@ -1,0 +1,132 @@
+package ledring
+
+import (
+	"testing"
+
+	"hdc/internal/geom"
+)
+
+// decode_test.go is the malformed-input table for the observer-side decoder:
+// DecodeHeading and IsDanger must return typed errors (or false) for every
+// truncated, corrupted or out-of-vocabulary display a camera could hand them,
+// and a correct boundary reading for every well-formed one. The round-trip
+// and quantisation properties live in ledring_test.go; this file pins the
+// edges.
+
+func TestDecodeHeadingTable(t *testing.T) {
+	tests := []struct {
+		name    string
+		leds    []Color
+		wantDeg float64 // meaningful only when wantErr is false
+		wantErr bool
+	}{
+		{name: "nil display", leds: nil, wantErr: true},
+		{name: "empty display", leds: []Color{}, wantErr: true},
+		{name: "one LED", leds: []Color{Green}, wantErr: true},
+		{name: "two LEDs truncated ring", leds: []Color{Red, Green}, wantErr: true},
+		{name: "all off", leds: []Color{Off, Off, Off, Off}, wantErr: true},
+		{name: "all red danger", leds: []Color{Red, Red, Red, Red}, wantErr: true},
+		{name: "all green", leds: []Color{Green, Green, Green, Green}, wantErr: true},
+		{name: "all white", leds: []Color{White, White, White, White}, wantErr: true},
+		{name: "green without red", leds: []Color{Green, White, Off, Off}, wantErr: true},
+		{name: "red without green", leds: []Color{Red, White, Off, Off}, wantErr: true},
+		{
+			// Red and green both present but never adjacent clockwise —
+			// a corrupted reading with no decodable boundary.
+			name:    "no red-to-green boundary",
+			leds:    []Color{Red, Off, Green, Off},
+			wantErr: true,
+		},
+		{
+			// Out-of-vocabulary colour values (a misread camera frame)
+			// separating red from green also leave no boundary.
+			name:    "garbage colour breaks boundary",
+			leds:    []Color{Red, Color(9), Green, Off},
+			wantErr: true,
+		},
+		{
+			name:    "boundary at nose",
+			leds:    []Color{Green, Green, White, White, Red, Red, Red, Red},
+			wantDeg: 0,
+		},
+		{
+			name:    "boundary quarter turn",
+			leds:    []Color{Red, Red, Green, Green, White, White, Off, Red},
+			wantDeg: 90,
+		},
+		{
+			// The boundary wraps: last LED red, first green.
+			name:    "boundary wraps around index zero",
+			leds:    []Color{Green, White, White, Red},
+			wantDeg: 0,
+		},
+		{
+			// Multiple boundaries (corrupted display): the decoder commits to
+			// the first one clockwise from the nose — a defined, deterministic
+			// reading rather than an error.
+			name:    "two boundaries reads first",
+			leds:    []Color{Red, Green, Off, Red, Green, Off},
+			wantDeg: 60,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := DecodeHeading(tc.leds)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("decoded %v as %v, want error", tc.leds, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("DecodeHeading(%v): %v", tc.leds, err)
+			}
+			if diff := geom.Rad2Deg(got.AbsDiff(geom.HeadingFromDeg(tc.wantDeg))); diff > 1e-9 {
+				t.Fatalf("decoded %v°, want %v°", got.Deg(), tc.wantDeg)
+			}
+		})
+	}
+}
+
+func TestIsDangerTable(t *testing.T) {
+	tests := []struct {
+		name string
+		leds []Color
+		want bool
+	}{
+		{name: "nil", leds: nil, want: false},
+		{name: "empty", leds: []Color{}, want: false},
+		{name: "single red", leds: []Color{Red}, want: true},
+		{name: "all red", leds: []Color{Red, Red, Red}, want: true},
+		{name: "truncated but red", leds: []Color{Red, Red}, want: true},
+		{name: "one LED off", leds: []Color{Red, Off, Red}, want: false},
+		{name: "one LED garbage", leds: []Color{Red, Color(7), Red}, want: false},
+		{name: "navigation mix", leds: []Color{Green, White, Red}, want: false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := IsDanger(tc.leds); got != tc.want {
+				t.Fatalf("IsDanger(%v) = %v, want %v", tc.leds, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHeadingQuantizationErrorDegTable(t *testing.T) {
+	tests := []struct {
+		n    int
+		want float64
+	}{
+		{n: -3, want: 180}, // degenerate counts saturate at half a circle
+		{n: 0, want: 180},
+		{n: 1, want: 180},
+		{n: 4, want: 45},
+		{n: 10, want: 18},
+		{n: 360, want: 0.5},
+	}
+	for _, tc := range tests {
+		if got := HeadingQuantizationErrorDeg(tc.n); got != tc.want {
+			t.Errorf("HeadingQuantizationErrorDeg(%d) = %v, want %v", tc.n, got, tc.want)
+		}
+	}
+}

@@ -562,13 +562,19 @@ func newStream(p *Pipeline) *Stream {
 // in-flight window or the worker queue is full (back-pressure), and fails
 // with ErrStreamClosed/ErrClosed once the stream or pipeline is closed. The
 // frame must not be mutated until it comes back in a StreamResult.
+//
+// A nil frame is rejected on recognition streams (the recogniser needs
+// pixels) but accepted on proc streams: a custom stage may carry its payload
+// out of band keyed on seq — the graph runtime's non-vision workloads (LED
+// rings, IMU windows, trajectories) dispatch exactly that way — and its Proc
+// must therefore tolerate a nil frame argument.
 func (s *Stream) Submit(frame *raster.Gray) error { return s.submit(frame, trace.Handle{}) }
 
 // submit is Submit carrying an optional trace handle begun upstream (the
 // ingest ring's Offer stamp); frames arriving without one begin their trace
 // at the enqueue boundary.
 func (s *Stream) submit(frame *raster.Gray, h trace.Handle) error {
-	if frame == nil {
+	if frame == nil && s.proc == nil {
 		return ErrNilFrame
 	}
 	s.mu.Lock()
@@ -617,7 +623,7 @@ func (s *Stream) SubmitContext(ctx context.Context, frame *raster.Gray) (claimed
 		err := s.Submit(frame)
 		return err == nil || errors.Is(err, ErrClosed), err
 	}
-	if frame == nil {
+	if frame == nil && s.proc == nil {
 		return false, ErrNilFrame
 	}
 	if err := ctx.Err(); err != nil {

@@ -19,6 +19,9 @@
 //	POST   /v1/gesture/streams/{id}/frames  offer live frames, poll verdicts
 //	GET    /v1/gesture/streams/{id}         session counters
 //	DELETE /v1/gesture/streams/{id}         flush and fetch final verdicts
+//	GET    /v1/graph               served dataflow workloads + live per-graph stats
+//	POST   /v1/graph/{workload}    one batch through a served graph (recognize, gesture,
+//	                               ledring, imu, flight — see graph.go)
 //	GET    /healthz                liveness + drain signal
 //	GET    /statsz                 pool occupancy, ingest drops, per-endpoint latency, mem
 //
@@ -36,12 +39,14 @@ package server
 import (
 	"errors"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"hdc/internal/core"
 	"hdc/internal/failpoint"
 	"hdc/internal/gesture"
+	"hdc/internal/graph"
 	"hdc/internal/raster"
 	"hdc/internal/sax/store"
 )
@@ -133,6 +138,14 @@ type Server struct {
 	statStream    endpointStats
 	statGesture   endpointStats
 	statFeed      endpointStats
+	statGraph     endpointStats
+
+	// graphs is the lazily built registry of served dataflow topologies
+	// (graph.go); graphsClosed latches once Close tears them down so a late
+	// request cannot rebuild a graph on a closing pool.
+	graphMu      sync.Mutex
+	graphs       map[string]*graph.Graph
+	graphsClosed bool
 }
 
 // New builds the service over sys. The system's worker pool starts lazily
@@ -160,6 +173,14 @@ func New(sys *core.System, opts Options) *Server {
 		s.mux.HandleFunc("POST /v1/gesture/streams/{id}/frames", s.instrument(&s.statFeed, s.handleGestureFeed))
 		s.mux.HandleFunc("DELETE /v1/gesture/streams/{id}", s.handleGestureStreamDelete)
 	}
+	s.mux.HandleFunc("GET /v1/graph", s.handleGraphIndex)
+	s.mux.HandleFunc("POST /v1/graph/recognize", s.instrument(&s.statGraph, s.handleGraphRecognize))
+	s.mux.HandleFunc("POST /v1/graph/ledring", s.instrument(&s.statGraph, s.handleGraphLedring))
+	s.mux.HandleFunc("POST /v1/graph/imu", s.instrument(&s.statGraph, s.handleGraphIMU))
+	s.mux.HandleFunc("POST /v1/graph/flight", s.instrument(&s.statGraph, s.handleGraphFlight))
+	if s.opts.Gesture != nil {
+		s.mux.HandleFunc("POST /v1/graph/gesture", s.instrument(&s.statGraph, s.handleGraphGesture))
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /livez", s.handleLivez)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -182,9 +203,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // requests) → Close (ends sessions) → core.System.Close (stops the pool).
 func (s *Server) Drain() { s.draining.Store(true) }
 
-// Close ends the stream sessions and stops the idle reaper. In-flight
-// session requests finish first; it does not close the underlying system.
-func (s *Server) Close() { s.sessions.close() }
+// Close ends the stream sessions, stops the idle reaper and drains the
+// served graphs. In-flight session requests finish first; it does not close
+// the underlying system.
+func (s *Server) Close() {
+	s.sessions.close()
+	s.closeGraphs()
+}
 
 // errDraining is returned to requests refused because the server is
 // draining or its pool has shut down.
@@ -508,8 +533,10 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"recognize":     s.statRecognize.snapshot(),
 			"batch":         s.statBatch.snapshot(),
 			"stream_frames": s.statStream.snapshot(),
+			"graph":         s.statGraph.snapshot(),
 		},
-		Mem: memSnapshot(),
+		Graphs: s.graphStats(),
+		Mem:    memSnapshot(),
 	}
 	if s.opts.Store != nil {
 		st := s.opts.Store.Stats()

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hdc/internal/graph"
 	"hdc/internal/pipeline"
 	"hdc/internal/sax/store"
 )
@@ -214,8 +215,12 @@ type StatsResponse struct {
 	FramePool FramePoolSnapshot           `json:"frame_pool"`
 	Sessions  SessionSnapshot             `json:"sessions"`
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
-	Mem       MemSnapshot                 `json:"mem"`
-	Store     *store.Stats                `json:"store,omitempty"`
+	// Graphs carries live stats for the served dataflow topologies built so
+	// far (graph.go); per-node pool attribution rides in Pool.Owners under
+	// the "<graph>/<node>" labels.
+	Graphs []graph.Stats `json:"graphs,omitempty"`
+	Mem    MemSnapshot   `json:"mem"`
+	Store  *store.Stats  `json:"store,omitempty"`
 }
 
 // ownerSnapshots converts the pool's per-owner stats to their wire form.
